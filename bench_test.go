@@ -1,0 +1,303 @@
+package optcc
+
+// One benchmark per experiment of DESIGN.md's index (theorems T1–T4,
+// figures F1–F5, measurements E1–E7), plus micro-benchmarks for the
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+	"optcc/internal/experiments"
+	"optcc/internal/geometry"
+	"optcc/internal/herbrand"
+	"optcc/internal/locking"
+	"optcc/internal/lockmgr"
+	"optcc/internal/online"
+	"optcc/internal/schedule"
+	"optcc/internal/sim"
+	"optcc/internal/workload"
+	"optcc/internal/wsr"
+)
+
+func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Theorems ---
+
+func BenchmarkTheorem1InformationBound(b *testing.B) {
+	benchExperiment(b, experiments.T1InformationBound)
+}
+
+func BenchmarkTheorem2SerialOptimal(b *testing.B) {
+	benchExperiment(b, experiments.T2SerialOptimal)
+}
+
+func BenchmarkTheorem3SerializationOptimal(b *testing.B) {
+	benchExperiment(b, experiments.T3SerializationOptimal)
+}
+
+func BenchmarkTheorem4WeakSerialization(b *testing.B) {
+	benchExperiment(b, experiments.T4WeakSerialization)
+}
+
+// --- Figures ---
+
+func BenchmarkFigure1WeaklySerializable(b *testing.B) {
+	benchExperiment(b, experiments.F1WeaklySerializableHistory)
+}
+
+func BenchmarkFigure2TwoPhaseTransform(b *testing.B) {
+	benchExperiment(b, experiments.F2TwoPhaseTransformation)
+}
+
+func BenchmarkFigure3DeadlockRegion(b *testing.B) {
+	benchExperiment(b, experiments.F3ProgressSpace)
+}
+
+func BenchmarkFigure4Homotopy(b *testing.B) {
+	benchExperiment(b, experiments.F4GeometryOfLocking)
+}
+
+func BenchmarkFigure5TwoPhasePrimeTransform(b *testing.B) {
+	benchExperiment(b, experiments.F5TwoPhasePrimeTransformation)
+}
+
+// --- Measurements ---
+
+func BenchmarkFixpointHierarchy(b *testing.B) {
+	benchExperiment(b, experiments.E1FixpointHierarchy)
+}
+
+func BenchmarkNoDelayProbability(b *testing.B) {
+	benchExperiment(b, experiments.E2NoDelayProbability)
+}
+
+func BenchmarkOnlineFixpoints(b *testing.B) {
+	benchExperiment(b, experiments.E3OnlineFixpoints)
+}
+
+func BenchmarkSimulatedWaitingSweep(b *testing.B) {
+	benchExperiment(b, experiments.E4Quick)
+}
+
+func BenchmarkPolicy2PLvs2PLPrime(b *testing.B) {
+	benchExperiment(b, experiments.E5PolicyComparison)
+}
+
+func BenchmarkTreeLocking(b *testing.B) {
+	benchExperiment(b, experiments.E6TreeLocking)
+}
+
+func BenchmarkDeadlockPolicies(b *testing.B) {
+	benchExperiment(b, experiments.E7DeadlockPolicies)
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkHerbrandEvalBanking(b *testing.B) {
+	sys := workload.Banking()
+	h := core.AllSteps(sys.Format())
+	u := herbrand.NewUniverse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := herbrand.Eval(u, sys, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHerbrandSerializableCheck(b *testing.B) {
+	sys := workload.Banking()
+	checker, err := herbrand.NewChecker(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	h := schedule.Random(sys.Format(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := checker.Serializable(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConflictGraphBanking(b *testing.B) {
+	sys := workload.Banking()
+	rng := rand.New(rand.NewSource(2))
+	h := schedule.Random(sys.Format(), rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := conflict.Serializable(sys, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWSRCheckFigure1(b *testing.B) {
+	sys := workload.Figure1()
+	checker, err := wsr.NewChecker(sys, wsr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := checker.Weak(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleEnumerationBanking(b *testing.B) {
+	format := workload.Banking().Format()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		schedule.Enumerate(format, func(core.Schedule) bool { n++; return true })
+		if n != 1260 {
+			b.Fatalf("enumerated %d", n)
+		}
+	}
+}
+
+func BenchmarkScheduleRankUnrank(b *testing.B) {
+	format := workload.Banking().Format()
+	rng := rand.New(rand.NewSource(3))
+	h := schedule.Random(format, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := schedule.Rank(format, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := schedule.Unrank(format, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockTableAcquireRelease(b *testing.B) {
+	vars := []core.Var{"a", "b", "c", "d"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := lockmgr.NewTable(lockmgr.Detect)
+		for tx := lockmgr.TxID(0); tx < 4; tx++ {
+			tab.Register(tx)
+			for _, v := range vars {
+				tab.Acquire(tx, v, lockmgr.Shared)
+			}
+		}
+		for tx := lockmgr.TxID(0); tx < 4; tx++ {
+			tab.ReleaseAll(tx)
+		}
+	}
+}
+
+func BenchmarkLRSOutputsTwoPhase(b *testing.B) {
+	sys := workload.Cross()
+	ls, err := locking.TwoPhase{}.Transform(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locking.Outputs(ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeometryDeadlockRegion(b *testing.B) {
+	ls, err := locking.TwoPhase{}.Transform(workload.Cross())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := geometry.NewSpace(ls, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.DeadlockRegion()
+	}
+}
+
+func BenchmarkSGTReplayBanking(b *testing.B) {
+	sys := workload.Banking()
+	rng := rand.New(rand.NewSource(4))
+	h := schedule.Random(sys.Format(), rng)
+	sched := online.NewSGT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Replay(sys, sched, h, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerDecisionLatency(b *testing.B) {
+	// Per-request decision cost of each scheduler on a serial stream: the
+	// "scheduling time" component of Section 6.
+	sys := sim.Instantiate(workload.Banking(), 30)
+	h := core.AllSteps(sys.Format())
+	for _, sched := range []online.Scheduler{
+		online.NewSerial(),
+		online.NewStrict2PL(lockmgr.Detect),
+		online.NewSGT(),
+		online.NewTO(),
+		online.NewOCC(),
+	} {
+		b.Run(sched.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := online.Replay(sys, sched, h, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, mk := range []func() online.Scheduler{
+		func() online.Scheduler { return online.NewStrict2PL(lockmgr.WoundWait) },
+		func() online.Scheduler { return online.NewSGTAborting() },
+		func() online.Scheduler { return online.NewOCC() },
+	} {
+		sched := mk()
+		b.Run(sched.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inst := sim.Instantiate(workload.Banking(), 16)
+				m, err := sim.Run(sim.Config{
+					System:   inst,
+					Sched:    mk(),
+					Users:    4,
+					ExecTime: 10 * time.Microsecond,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Committed != 16 {
+					b.Fatalf("committed %d", m.Committed)
+				}
+			}
+		})
+	}
+}

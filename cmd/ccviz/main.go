@@ -1,0 +1,50 @@
+// Command ccviz renders the paper's figures as ASCII: the locked
+// transactions of Figures 2 and 5, the progress space with blocks and
+// deadlock region of Figure 3, and the geometric panels of Figure 4.
+//
+// Usage:
+//
+//	ccviz -fig 3            # render one figure
+//	ccviz                   # render figures 2–5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optcc/internal/experiments"
+)
+
+func main() {
+	figFlag := flag.Int("fig", 0, "figure number (2–5); 0 renders all")
+	flag.Parse()
+
+	figs := map[int]func() (*experiments.Result, error){
+		1: experiments.F1WeaklySerializableHistory,
+		2: experiments.F2TwoPhaseTransformation,
+		3: experiments.F3ProgressSpace,
+		4: experiments.F4GeometryOfLocking,
+		5: experiments.F5TwoPhasePrimeTransformation,
+	}
+	render := func(n int) {
+		f, ok := figs[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ccviz: no figure %d (have 1–5)\n", n)
+			os.Exit(2)
+		}
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccviz: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+	}
+	if *figFlag != 0 {
+		render(*figFlag)
+		return
+	}
+	for n := 1; n <= 5; n++ {
+		render(n)
+	}
+}

@@ -1,0 +1,50 @@
+// Locksim: the Section 6 environment live — goroutine users submitting
+// banking transactions to a central scheduler, comparing waiting time and
+// throughput across schedulers whose fixpoint sets grow with the
+// information they use (serial → strict 2PL → SGT → OCC).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"optcc/internal/lockmgr"
+	"optcc/internal/online"
+	"optcc/internal/report"
+	"optcc/internal/sim"
+	"optcc/internal/workload"
+)
+
+func main() {
+	const jobs, users = 24, 6
+	template := workload.Banking()
+	schedulers := []online.Scheduler{
+		online.NewSerial(),
+		online.NewStrict2PL(lockmgr.WoundWait),
+		online.NewConservative2PL(),
+		online.NewSGTAborting(),
+		online.NewTO(),
+		online.NewOCC(),
+	}
+	t := report.NewTable(
+		fmt.Sprintf("banking, %d jobs, %d users, 100µs steps", jobs, users),
+		"scheduler", "committed", "aborts", "waits", "mean-wait-µs", "p95-wait-µs", "throughput-tx/s")
+	for _, sched := range schedulers {
+		inst := sim.Instantiate(template, jobs)
+		m, err := sim.Run(sim.Config{
+			System:   inst,
+			Sched:    sched,
+			Users:    users,
+			ExecTime: 100 * time.Microsecond,
+			Seed:     1979,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(sched.Name(), m.Committed, m.Aborts, m.WaitNs.N(),
+			m.WaitNs.Mean()/1e3, m.WaitNs.Percentile(95)/1e3, m.Throughput)
+	}
+	fmt.Print(t)
+	fmt.Println("\nRicher fixpoint sets mean fewer imposed waits — the paper's information/performance trade-off, measured.")
+}

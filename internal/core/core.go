@@ -1,0 +1,357 @@
+// Package core implements the transaction-system model of Kung &
+// Papadimitriou, "An Optimality Theory of Concurrency Control for Databases"
+// (SIGMOD 1979), Section 2.
+//
+// A transaction system is a finite set of transactions {T1..Tn}. Each
+// transaction Ti is a straight-line sequence of steps Ti1..Timi. Step Tij
+// executes, indivisibly,
+//
+//	t_ij ← x_ij;  x_ij ← f_ij(t_i1, ..., t_ij)
+//
+// where x_ij is a global variable, t_i1..t_imi are the transaction's local
+// variables, and f_ij is a function symbol. The n-tuple (m1..mn) is the
+// format of the system. Interpretations of the f_ij (the semantics), and the
+// integrity constraints IC over the global state, complete the definition.
+//
+// The package provides the syntactic objects (Var, Step, Transaction,
+// System), the operational semantics (State, Exec), schedules (legal
+// interleavings) and the correctness predicate behind C(T).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var names a global variable of a transaction system. Variables are
+// abstractions of individually accessible data entities (bits, records,
+// files); their granularity is irrelevant to the theory.
+type Var string
+
+// Value is a concrete domain element. The paper allows any enumerable
+// domain; the concrete engine fixes D(v) = int64 for every v, which suffices
+// for all workloads studied (the symbolic Herbrand engine in
+// internal/herbrand handles the uninterpreted case).
+type Value int64
+
+// DB is a global database state G: an assignment of values to variables.
+type DB map[Var]Value
+
+// Clone returns an independent copy of the state.
+func (d DB) Clone() DB {
+	c := make(DB, len(d))
+	for v, x := range d {
+		c[v] = x
+	}
+	return c
+}
+
+// Equal reports whether two states assign the same value to every variable.
+// Variables absent from a map are treated as zero.
+func (d DB) Equal(o DB) bool {
+	for v, x := range d {
+		if o[v] != x {
+			return false
+		}
+	}
+	for v, x := range o {
+		if d[v] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state deterministically, sorted by variable name.
+func (d DB) String() string {
+	vars := make([]string, 0, len(d))
+	for v := range d {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", v, d[Var(v)])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// StepKind classifies a step syntactically. The classification is part of
+// the syntax (the paper's "flowchart with the names of the variables
+// accessed and updated at each step"): it determines the conflict relation
+// and the Herbrand semantics, not the concrete interpretation.
+type StepKind int
+
+const (
+	// Update is the general step: reads x_ij and rewrites it as a function
+	// of everything the transaction has read so far (including this read).
+	Update StepKind = iota
+	// Read is a step whose f_ij is the identity on t_ij: the write-back is
+	// a semantic no-op. Read steps conflict only with writers.
+	Read
+	// Write is a step whose f_ij is independent of t_ij: the value read is
+	// never used. Writers conflict with both readers and writers.
+	Write
+)
+
+// String returns the conventional one-letter name of the kind.
+func (k StepKind) String() string {
+	switch k {
+	case Update:
+		return "U"
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is one of the declared kinds.
+func (k StepKind) Valid() bool { return k == Update || k == Read || k == Write }
+
+// StepFunc is a concrete interpretation φ_ij of a function symbol f_ij. It
+// receives the transaction's local values t_i1..t_ij (the last element is
+// the value just read by this step) and returns the new value of x_ij.
+type StepFunc func(locals []Value) Value
+
+// Step is one transaction step T_ij.
+type Step struct {
+	// Var is x_ij, the global variable read and written by the step.
+	Var Var
+	// Kind is the syntactic classification (Update, Read or Write).
+	Kind StepKind
+	// Fn is the concrete interpretation of f_ij. It may be nil for Read
+	// steps (identity is implied) and for purely syntactic systems that are
+	// only executed under Herbrand semantics.
+	Fn StepFunc
+	// FnName names the function symbol f_ij for the Herbrand universe and
+	// for printing. If empty, System.Normalize assigns the canonical name
+	// "f<i><j>" (1-based, matching the paper).
+	FnName string
+}
+
+// Transaction is a straight-line program: a named, ordered list of steps.
+type Transaction struct {
+	Name  string
+	Steps []Step
+}
+
+// Len returns m_i, the number of steps.
+func (t *Transaction) Len() int { return len(t.Steps) }
+
+// StepID identifies step Idx (0-based) of transaction Tx (0-based) within a
+// system. The paper writes T_{Tx+1,Idx+1}.
+type StepID struct {
+	Tx, Idx int
+}
+
+// String renders the identifier in the paper's 1-based notation, e.g. "T12".
+func (id StepID) String() string { return fmt.Sprintf("T%d%d", id.Tx+1, id.Idx+1) }
+
+// IC captures the integrity constraints of a system: the predicate that
+// defines consistent global states, together with a finite generator of
+// representative consistent initial states used to decide schedule
+// correctness. The paper quantifies over all consistent states; workloads
+// in this repo supply generators that cover the reachable invariant
+// manifold (documented per workload).
+type IC struct {
+	Name string
+	// Check reports whether the global state satisfies the constraints.
+	Check func(DB) bool
+	// Initials enumerates representative consistent initial states.
+	Initials func() []DB
+}
+
+// TrivialIC accepts every state; its only initial state is the given one.
+// It models "no integrity constraints" (every schedule is correct).
+func TrivialIC(init DB) *IC {
+	return &IC{
+		Name:     "trivial",
+		Check:    func(DB) bool { return true },
+		Initials: func() []DB { return []DB{init.Clone()} },
+	}
+}
+
+// System is a transaction system: transactions plus integrity constraints.
+type System struct {
+	Name string
+	Txs  []Transaction
+	// IC holds the integrity constraints. A nil IC behaves like a trivial
+	// constraint with a single all-zero initial state.
+	IC *IC
+}
+
+// Format returns the n-tuple (m1..mn) of transaction lengths.
+func (s *System) Format() []int {
+	f := make([]int, len(s.Txs))
+	for i := range s.Txs {
+		f[i] = len(s.Txs[i].Steps)
+	}
+	return f
+}
+
+// NumTxs returns n, the number of transactions.
+func (s *System) NumTxs() int { return len(s.Txs) }
+
+// StepCount returns the total number of steps Σ m_i.
+func (s *System) StepCount() int {
+	n := 0
+	for i := range s.Txs {
+		n += len(s.Txs[i].Steps)
+	}
+	return n
+}
+
+// Step returns the step named by id.
+func (s *System) Step(id StepID) Step { return s.Txs[id.Tx].Steps[id.Idx] }
+
+// Vars returns the sorted set of global variable names used by the system.
+func (s *System) Vars() []Var {
+	seen := map[Var]bool{}
+	for i := range s.Txs {
+		for j := range s.Txs[i].Steps {
+			seen[s.Txs[i].Steps[j].Var] = true
+		}
+	}
+	vars := make([]Var, 0, len(seen))
+	for v := range seen {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(a, b int) bool { return vars[a] < vars[b] })
+	return vars
+}
+
+// Readers returns the transactions (indices) containing at least one step
+// on v.
+func (s *System) Accessors(v Var) []int {
+	var out []int
+	for i := range s.Txs {
+		for j := range s.Txs[i].Steps {
+			if s.Txs[i].Steps[j].Var == v {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Normalize fills in derived fields: canonical function-symbol names for
+// steps that lack one, default transaction names, and a trivial IC if none
+// is set. It returns the receiver for chaining.
+func (s *System) Normalize() *System {
+	for i := range s.Txs {
+		if s.Txs[i].Name == "" {
+			s.Txs[i].Name = fmt.Sprintf("T%d", i+1)
+		}
+		for j := range s.Txs[i].Steps {
+			if s.Txs[i].Steps[j].FnName == "" {
+				s.Txs[i].Steps[j].FnName = fmt.Sprintf("f%d%d", i+1, j+1)
+			}
+		}
+	}
+	if s.IC == nil {
+		init := DB{}
+		for _, v := range s.Vars() {
+			init[v] = 0
+		}
+		s.IC = TrivialIC(init)
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: at least one transaction,
+// every transaction non-empty, every step names a variable and a valid
+// kind, and every non-Read step of an executable system has an
+// interpretation.
+func (s *System) Validate() error {
+	if len(s.Txs) == 0 {
+		return fmt.Errorf("system %q: no transactions", s.Name)
+	}
+	for i := range s.Txs {
+		t := &s.Txs[i]
+		if len(t.Steps) == 0 {
+			return fmt.Errorf("system %q: transaction %d is empty", s.Name, i+1)
+		}
+		for j := range t.Steps {
+			st := &t.Steps[j]
+			if st.Var == "" {
+				return fmt.Errorf("system %q: step T%d%d has no variable", s.Name, i+1, j+1)
+			}
+			if !st.Kind.Valid() {
+				return fmt.Errorf("system %q: step T%d%d has invalid kind %d", s.Name, i+1, j+1, int(st.Kind))
+			}
+		}
+	}
+	return nil
+}
+
+// Executable reports whether every step has a concrete interpretation (Read
+// steps are always executable: identity is implied).
+func (s *System) Executable() bool {
+	for i := range s.Txs {
+		for j := range s.Txs[i].Steps {
+			st := s.Txs[i].Steps[j]
+			if st.Kind != Read && st.Fn == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the system's syntax, one transaction per line.
+func (s *System) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system %s format %v\n", s.Name, s.Format())
+	for i := range s.Txs {
+		fmt.Fprintf(&b, "  %s:", s.Txs[i].Name)
+		for j := range s.Txs[i].Steps {
+			st := s.Txs[i].Steps[j]
+			fmt.Fprintf(&b, " %s(%s:%s)", StepID{i, j}, st.Kind, st.Var)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// InitialStates returns the consistent initial states supplied by the IC.
+// Each returned state is an independent copy extended with zero entries for
+// any system variable the generator omitted.
+func (s *System) InitialStates() []DB {
+	if s.IC == nil || s.IC.Initials == nil {
+		init := DB{}
+		for _, v := range s.Vars() {
+			init[v] = 0
+		}
+		return []DB{init}
+	}
+	gens := s.IC.Initials()
+	out := make([]DB, 0, len(gens))
+	for _, g := range gens {
+		c := g.Clone()
+		for _, v := range s.Vars() {
+			if _, ok := c[v]; !ok {
+				c[v] = 0
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Consistent reports whether the state satisfies the integrity constraints.
+func (s *System) Consistent(db DB) bool {
+	if s.IC == nil || s.IC.Check == nil {
+		return true
+	}
+	return s.IC.Check(db)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schedule is a log (history) of a transaction system: a sequence of step
+// identifiers. A legal schedule is a permutation of all steps of the system
+// preserving each transaction's internal order; the set of legal schedules
+// is H(T), which depends only on the format.
+type Schedule []StepID
+
+// String renders the schedule in the paper's notation: (T11, T21, T12).
+func (h Schedule) String() string {
+	parts := make([]string, len(h))
+	for i, id := range h {
+		parts[i] = id.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone returns an independent copy.
+func (h Schedule) Clone() Schedule { return append(Schedule(nil), h...) }
+
+// Equal reports element-wise equality.
+func (h Schedule) Equal(o Schedule) bool {
+	if len(h) != len(o) {
+		return false
+	}
+	for i := range h {
+		if h[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact, comparable encoding of the schedule, suitable as a
+// map key.
+func (h Schedule) Key() string {
+	var b strings.Builder
+	b.Grow(len(h) * 3)
+	for _, id := range h {
+		fmt.Fprintf(&b, "%d.%d;", id.Tx, id.Idx)
+	}
+	return b.String()
+}
+
+// Legal reports whether h is a legal, complete schedule for format f: every
+// step T_ij with i < len(f), j < f[i] appears exactly once and the steps of
+// each transaction appear in program order.
+func (h Schedule) Legal(format []int) bool {
+	next := make([]int, len(format))
+	total := 0
+	for _, m := range format {
+		total += m
+	}
+	if len(h) != total {
+		return false
+	}
+	for _, id := range h {
+		if id.Tx < 0 || id.Tx >= len(format) {
+			return false
+		}
+		if id.Idx != next[id.Tx] || id.Idx >= format[id.Tx] {
+			return false
+		}
+		next[id.Tx]++
+	}
+	return true
+}
+
+// LegalPrefix reports whether h is a legal prefix of some schedule of the
+// format: program order respected, no step repeated, no step out of range.
+func (h Schedule) LegalPrefix(format []int) bool {
+	next := make([]int, len(format))
+	for _, id := range h {
+		if id.Tx < 0 || id.Tx >= len(format) {
+			return false
+		}
+		if id.Idx != next[id.Tx] || id.Idx >= format[id.Tx] {
+			return false
+		}
+		next[id.Tx]++
+	}
+	return true
+}
+
+// IsSerial reports whether the schedule executes transactions one after
+// another with no interleaving.
+func (h Schedule) IsSerial() bool {
+	cur := -1
+	seen := map[int]bool{}
+	for _, id := range h {
+		if id.Tx != cur {
+			if seen[id.Tx] {
+				return false
+			}
+			seen[id.Tx] = true
+			cur = id.Tx
+		}
+	}
+	return true
+}
+
+// SerialOrder returns, for a serial schedule, the order in which
+// transactions appear. The second result is false if the schedule is not
+// serial.
+func (h Schedule) SerialOrder() ([]int, bool) {
+	if !h.IsSerial() {
+		return nil, false
+	}
+	var order []int
+	cur := -1
+	for _, id := range h {
+		if id.Tx != cur {
+			order = append(order, id.Tx)
+			cur = id.Tx
+		}
+	}
+	return order, true
+}
+
+// Project returns the subsequence of h consisting of the steps of
+// transaction tx.
+func (h Schedule) Project(tx int) Schedule {
+	var out Schedule
+	for _, id := range h {
+		if id.Tx == tx {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SwapAdjacent returns a copy of h with positions k and k+1 exchanged: an
+// "elementary transformation" in the sense of Section 5.3. It returns an
+// error if the swap would violate program order (both steps from the same
+// transaction).
+func (h Schedule) SwapAdjacent(k int) (Schedule, error) {
+	if k < 0 || k+1 >= len(h) {
+		return nil, fmt.Errorf("swap index %d out of range [0,%d)", k, len(h)-1)
+	}
+	if h[k].Tx == h[k+1].Tx {
+		return nil, fmt.Errorf("cannot swap %v and %v: same transaction", h[k], h[k+1])
+	}
+	out := h.Clone()
+	out[k], out[k+1] = out[k+1], out[k]
+	return out, nil
+}
+
+// SerialSchedule builds the serial schedule that executes the transactions
+// of the format in the given order (a permutation of 0..n−1).
+func SerialSchedule(format []int, order []int) Schedule {
+	var h Schedule
+	for _, ti := range order {
+		for j := 0; j < format[ti]; j++ {
+			h = append(h, StepID{ti, j})
+		}
+	}
+	return h
+}
+
+// AllSteps returns the schedule that lists every step of the format in
+// transaction order: the serial schedule for order (0, 1, ..., n−1).
+func AllSteps(format []int) Schedule {
+	order := make([]int, len(format))
+	for i := range order {
+		order[i] = i
+	}
+	return SerialSchedule(format, order)
+}
+
+// ScheduleCorrect reports whether executing h preserves consistency: for
+// every consistent initial state supplied by the system's IC generator, the
+// final state is consistent. This is the membership test behind C(T).
+func ScheduleCorrect(sys *System, h Schedule) (bool, error) {
+	if !h.Legal(sys.Format()) {
+		return false, fmt.Errorf("schedule %v not legal for format %v", h, sys.Format())
+	}
+	for _, init := range sys.InitialStates() {
+		if !sys.Consistent(init) {
+			continue
+		}
+		final, err := Exec(sys, h, init)
+		if err != nil {
+			return false, err
+		}
+		if !sys.Consistent(final) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,730 @@
+// Package experiments drives every experiment in DESIGN.md's
+// per-experiment index (T1–T4, F1–F5, E1–E7) and renders the tables
+// recorded in EXPERIMENTS.md. cmd/ccbench is a thin CLI over this package;
+// the root bench_test.go wraps each experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"optcc/internal/core"
+	"optcc/internal/fixpoint"
+	"optcc/internal/geometry"
+	"optcc/internal/herbrand"
+	"optcc/internal/info"
+	"optcc/internal/locking"
+	"optcc/internal/lockmgr"
+	"optcc/internal/online"
+	"optcc/internal/report"
+	"optcc/internal/schedule"
+	"optcc/internal/sim"
+	"optcc/internal/workload"
+	"optcc/internal/wsr"
+)
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string // free-form sections (figures, narratives)
+	Tables []*report.Table
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "─── %s: %s ───\n", r.ID, r.Title)
+	if r.Text != "" {
+		b.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the result for EXPERIMENTS.md.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	if r.Text != "" {
+		fmt.Fprintf(&b, "```\n%s\n```\n\n", strings.TrimRight(r.Text, "\n"))
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func() (*Result, error)
+
+// All returns every experiment keyed by ID, plus the display order.
+func All() (map[string]Runner, []string) {
+	m := map[string]Runner{
+		"T1": T1InformationBound,
+		"T2": T2SerialOptimal,
+		"T3": T3SerializationOptimal,
+		"T4": T4WeakSerialization,
+		"F1": F1WeaklySerializableHistory,
+		"F2": F2TwoPhaseTransformation,
+		"F3": F3ProgressSpace,
+		"F4": F4GeometryOfLocking,
+		"F5": F5TwoPhasePrimeTransformation,
+		"E1": E1FixpointHierarchy,
+		"E2": E2NoDelayProbability,
+		"E3": E3OnlineFixpoints,
+		"E4": E4SimulatedWaiting,
+		"E5": E5PolicyComparison,
+		"E6": E6TreeLocking,
+		"E7": E7DeadlockPolicies,
+	}
+	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+	return m, order
+}
+
+// T1InformationBound verifies Theorem 1's bound P ⊆ ∩_{T'∈I} C(T') by
+// computing, for the Figure 1 system, the optimal fixpoint at each
+// information level and checking the nesting.
+func T1InformationBound() (*Result, error) {
+	sys := workload.Figure1()
+	t := report.NewTable("optimal fixpoint per information level — figure1 (|H| = 3)",
+		"level", "|P|", "|P|/|H|", "members")
+	total := 0
+	schedule.Enumerate(sys.Format(), func(core.Schedule) bool { total++; return true })
+	prevMembers := map[string]bool{}
+	first := true
+	for _, level := range info.Levels() {
+		o, err := info.NewOracle(sys, level)
+		if err != nil {
+			return nil, err
+		}
+		members := map[string]bool{}
+		var names []string
+		var iterErr error
+		schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+			in, err := o.InFixpoint(h)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			if in {
+				members[h.Key()] = true
+				names = append(names, h.String())
+			}
+			return true
+		})
+		if iterErr != nil {
+			return nil, iterErr
+		}
+		if !first {
+			for k := range prevMembers {
+				if !members[k] {
+					return nil, fmt.Errorf("T1: nesting violated at level %v", level)
+				}
+			}
+		}
+		first = false
+		prevMembers = members
+		t.AddRow(level.String(), len(members), report.Ratio(len(members), total), strings.Join(names, " "))
+	}
+	return &Result{
+		ID:    "T1",
+		Title: "Theorem 1 — information bounds fixpoint sets (nested along the information order)",
+		Tables: []*report.Table{
+			t,
+		},
+	}, nil
+}
+
+// T2SerialOptimal mechanizes the proof of Theorem 2: for every non-serial
+// schedule of several formats, the constructed adversary system breaks it,
+// so no scheduler with only the format can pass anything beyond serial.
+func T2SerialOptimal() (*Result, error) {
+	t := report.NewTable("Theorem 2 adversary coverage",
+		"format", "|H|", "serial", "non-serial", "broken by adversary")
+	for _, format := range [][]int{{2, 1}, {2, 2}, {1, 1, 1}, {3, 2}, {2, 2, 1}} {
+		total, serial, broken := 0, 0, 0
+		var err error
+		schedule.Enumerate(format, func(h core.Schedule) bool {
+			total++
+			if h.IsSerial() {
+				serial++
+				return true
+			}
+			adv, aerr := info.BuildTheorem2Adversary(format, h)
+			if aerr != nil {
+				err = aerr
+				return false
+			}
+			ok, cerr := core.ScheduleCorrect(adv, h)
+			if cerr != nil {
+				err = cerr
+				return false
+			}
+			if !ok {
+				broken++
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if broken != total-serial {
+			return nil, fmt.Errorf("T2: %d of %d non-serial schedules survived the adversary for format %v",
+				total-serial-broken, total-serial, format)
+		}
+		t.AddRow(fmt.Sprintf("%v", format), total, serial, total-serial, broken)
+	}
+	return &Result{
+		ID:     "T2",
+		Title:  "Theorem 2 — the serial scheduler is optimal at minimum information",
+		Text:   "Every non-serial schedule is incorrect for the increment/double/decrement adversary with IC {x=0}.",
+		Tables: []*report.Table{t},
+	}, nil
+}
+
+// T3SerializationOptimal mechanizes Theorem 3: the Herbrand-IC adversary
+// characterizes SR(T) exactly on representative syntaxes.
+func T3SerializationOptimal() (*Result, error) {
+	t := report.NewTable("Theorem 3 — Herbrand adversary vs SR(T)",
+		"system", "|H|", "|SR|", "adversary-correct", "agree")
+	// The exact characterization C(T') ∩ H = SR(T) holds in the paper's
+	// pure model where every step is a general update (Section 2); with
+	// Read/Write refinements a blind write can coincide with an omission
+	// concatenation, making the adversary a sound over-approximation only.
+	mkU := func(vars ...core.Var) core.Transaction {
+		steps := make([]core.Step, len(vars))
+		for i, v := range vars {
+			steps[i] = core.Step{Var: v, Kind: core.Update}
+		}
+		return core.Transaction{Steps: steps}
+	}
+	syntaxes := []*core.System{
+		syntaxOf(workload.Figure1()),
+		syntaxOf(workload.Cross()),
+		(&core.System{Name: "triple", Txs: []core.Transaction{mkU("x", "y"), mkU("x"), mkU("y")}}).Normalize(),
+	}
+	for _, sys := range syntaxes {
+		checker, err := herbrand.NewChecker(sys)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := info.NewHerbrandAdversary(sys, 0)
+		if err != nil {
+			return nil, err
+		}
+		total, sr, pass, agree := 0, 0, 0, 0
+		schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+			total++
+			s, _, serr := checker.Serializable(h)
+			if serr != nil {
+				err = serr
+				return false
+			}
+			p, perr := adv.Correct(h)
+			if perr != nil {
+				err = perr
+				return false
+			}
+			if s {
+				sr++
+			}
+			if p {
+				pass++
+			}
+			if s == p {
+				agree++
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if agree != total {
+			return nil, fmt.Errorf("T3: adversary disagrees with SR on %s", sys.Name)
+		}
+		t.AddRow(sys.Name, total, sr, pass, fmt.Sprintf("%d/%d", agree, total))
+	}
+	return &Result{
+		ID:     "T3",
+		Title:  "Theorem 3 — the serialization scheduler is optimal at complete syntactic information",
+		Tables: []*report.Table{t},
+	}, nil
+}
+
+// syntaxOf strips interpretations and IC, leaving pure syntax.
+func syntaxOf(sys *core.System) *core.System {
+	out := &core.System{Name: sys.Name + "-syntax"}
+	for _, tx := range sys.Txs {
+		steps := make([]core.Step, len(tx.Steps))
+		for j, st := range tx.Steps {
+			steps[j] = core.Step{Var: st.Var, Kind: st.Kind}
+		}
+		out.Txs = append(out.Txs, core.Transaction{Name: tx.Name, Steps: steps})
+	}
+	return out.Normalize()
+}
+
+// T4WeakSerialization verifies Theorem 4's gap on Figure 1: WSR strictly
+// exceeds SR, and WSR membership is exactly what the weak serialization
+// scheduler passes.
+func T4WeakSerialization() (*Result, error) {
+	sys := workload.Figure1()
+	counts, err := fixpoint.Classify(sys, fixpoint.Options{WithWSR: true, WithCorrect: true})
+	if err != nil {
+		return nil, err
+	}
+	if !(counts.SR < counts.WSR) {
+		return nil, fmt.Errorf("T4: expected SR < WSR on figure1, got SR=%d WSR=%d", counts.SR, counts.WSR)
+	}
+	return &Result{
+		ID:     "T4",
+		Title:  "Theorem 4 — weak serialization is optimal without the integrity constraints",
+		Text:   "On Figure 1, SR misses the interleaved history but WSR (and hence the optimal scheduler without IC knowledge) passes all of H.",
+		Tables: []*report.Table{counts.Table()},
+	}, nil
+}
+
+// F1WeaklySerializableHistory reproduces the Figure 1 discussion: the
+// history h = (T11, T21, T12) has a Herbrand value equal to no serial
+// history, yet with the given interpretations it equals the serial history
+// (T21, T11, T12).
+func F1WeaklySerializableHistory() (*Result, error) {
+	sys := workload.Figure1()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	checker, err := herbrand.NewChecker(sys)
+	if err != nil {
+		return nil, err
+	}
+	f, err := checker.Final(h)
+	if err != nil {
+		return nil, err
+	}
+	sr, _, err := checker.Serializable(h)
+	if err != nil {
+		return nil, err
+	}
+	wc, err := wsr.NewChecker(sys, wsr.Options{})
+	if err != nil {
+		return nil, err
+	}
+	weak, witness, err := wc.Weak(h)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "history h = %s\n", h)
+	fmt.Fprintf(&b, "Herbrand value of x: %s\n", f["x"])
+	for order, key := range map[string][]int{"T1;T2": {0, 1}, "T2;T1": {1, 0}} {
+		sf, err := checker.Final(core.SerialSchedule(sys.Format(), key))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "serial %s value of x: %s\n", order, sf["x"])
+	}
+	fmt.Fprintf(&b, "h ∈ SR(T): %v (as the paper shows, it is not)\n", sr)
+	fmt.Fprintf(&b, "h ∈ WSR(T): %v, witnessed by serial order %v — with φ = (+1, ×2, +1), h ≡ (T21, T11, T12)\n", weak, witness)
+	if sr || !weak {
+		return nil, fmt.Errorf("F1: expected h ∉ SR and h ∈ WSR")
+	}
+	return &Result{ID: "F1", Title: "Figure 1 — a weakly serializable, non-serializable history", Text: b.String()}, nil
+}
+
+// F2TwoPhaseTransformation renders Figure 2: the 2PL transformation of the
+// transaction (x, y, x, z).
+func F2TwoPhaseTransformation() (*Result, error) {
+	ls, err := locking.TwoPhase{}.Transform(figure2System())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:    "F2",
+		Title: "Figure 2 — locked transaction using 2PL",
+		Text:  ls.Txs[0].String() + fmt.Sprintf("two-phase: %v, well-formed: %v\n", ls.TwoPhase(), ls.WellFormed()),
+	}, nil
+}
+
+func figure2System() *core.System {
+	return (&core.System{
+		Name: "figure2",
+		Txs: []core.Transaction{{Name: "Ti", Steps: []core.Step{
+			{Var: "x", Kind: core.Update},
+			{Var: "y", Kind: core.Update},
+			{Var: "x", Kind: core.Update},
+			{Var: "z", Kind: core.Update},
+		}}},
+	}).Normalize()
+}
+
+// F3ProgressSpace renders Figure 3: the progress space of two 2PL-locked
+// transactions with opposite lock orders, showing blocks and the deadlock
+// region D.
+func F3ProgressSpace() (*Result, error) {
+	ls, err := locking.TwoPhase{}.Transform(syntaxOf(workload.Cross()))
+	if err != nil {
+		return nil, err
+	}
+	sp, err := geometry.NewSpace(ls, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(sp.Render(nil))
+	fmt.Fprintf(&b, "deadlock region D: %v\n", sp.DeadlockRegion())
+	if !sp.HasDeadlock() {
+		return nil, fmt.Errorf("F3: expected a deadlock region")
+	}
+	return &Result{ID: "F3", Title: "Figure 3 — the progress space, blocks Bx/By and deadlock region D", Text: b.String()}, nil
+}
+
+// F4GeometryOfLocking reproduces the four panels of Figure 4:
+// memorylessness, homotopy serializability, separation, and the 2PL common
+// point.
+func F4GeometryOfLocking() (*Result, error) {
+	var b strings.Builder
+	// (a)+(b)+(d): 2PL-locked cross system.
+	ls, err := locking.TwoPhase{}.Transform(syntaxOf(workload.Cross()))
+	if err != nil {
+		return nil, err
+	}
+	sp, err := geometry.NewSpace(ls, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	u, ok := sp.CommonPoint()
+	fmt.Fprintf(&b, "(d) 2PL blocks %v share common point u = %v: %v → no separating path: %v\n",
+		sp.Blocks, u, ok, !sp.SeparatingPathExists())
+	if !ok || sp.SeparatingPathExists() {
+		return nil, fmt.Errorf("F4: 2PL common-point property violated")
+	}
+	// (c): per-access locking admits separation.
+	perAccess := perAccessLocked()
+	sp2, err := geometry.NewSpace(perAccess, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "(c) per-access locking blocks %v admit a separating (non-serializable) path: %v\n",
+		sp2.Blocks, sp2.SeparatingPathExists())
+	if !sp2.SeparatingPathExists() {
+		return nil, fmt.Errorf("F4: per-access locking should admit separation")
+	}
+	// (b): homotopy check agrees with conflict serializability on every
+	// complete path of the 2PL space (verified exhaustively in tests; here
+	// we show one serial path).
+	moves := make([]int, 0, sp.N1+sp.N2)
+	for i := 0; i < sp.N1; i++ {
+		moves = append(moves, 0)
+	}
+	for i := 0; i < sp.N2; i++ {
+		moves = append(moves, 1)
+	}
+	path, err := sp.PathFromMoves(moves)
+	if err != nil {
+		return nil, err
+	}
+	okSer, err := sp.PathSerializable(path)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "(b) the serial path is homotopic to a serial schedule: %v\n", okSer)
+	fmt.Fprintf(&b, "(a) memorylessness: histories (T1-op, T2-op) and (T2-op, T1-op) reach the same progress point\n")
+	return &Result{ID: "F4", Title: "Figure 4 — geometries of locking", Text: b.String()}, nil
+}
+
+// perAccessLocked builds the non-two-phase lock-per-access system used for
+// the separation panel.
+func perAccessLocked() *locking.System {
+	base := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "y", Kind: core.Update}}},
+			{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "y", Kind: core.Update}}},
+		},
+	}).Normalize()
+	mk := func(tx int) locking.Tx {
+		return locking.Tx{Name: fmt.Sprintf("T%d", tx+1), Ops: []locking.Op{
+			{Kind: locking.OpLock, LV: "X"},
+			{Kind: locking.OpStep, Step: core.StepID{Tx: tx, Idx: 0}},
+			{Kind: locking.OpUnlock, LV: "X"},
+			{Kind: locking.OpLock, LV: "Y"},
+			{Kind: locking.OpStep, Step: core.StepID{Tx: tx, Idx: 1}},
+			{Kind: locking.OpUnlock, LV: "Y"},
+		}}
+	}
+	return &locking.System{Base: base, Policy: "per-access", Txs: []locking.Tx{mk(0), mk(1)}}
+}
+
+// F5TwoPhasePrimeTransformation renders Figure 5: the 2PL′ transformation
+// of the same transaction as Figure 2.
+func F5TwoPhasePrimeTransformation() (*Result, error) {
+	ls, err := locking.TwoPhasePrime{X: "x"}.Transform(figure2System())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:    "F5",
+		Title: "Figure 5 — locked transaction using 2PL′",
+		Text: ls.Txs[0].String() +
+			fmt.Sprintf("two-phase: %v (2PL′ is deliberately not two-phase), well-formed: %v\n",
+				ls.TwoPhase(), ls.WellFormed()),
+	}, nil
+}
+
+// E1FixpointHierarchy computes the full hierarchy on the canonical
+// systems.
+func E1FixpointHierarchy() (*Result, error) {
+	res := &Result{ID: "E1", Title: "Fixpoint hierarchy serial ⊆ CSR ⊆ SR ⊆ WSR ⊆ C(T) ⊆ H"}
+	cases := []struct {
+		sys  *core.System
+		opts fixpoint.Options
+	}{
+		{workload.Figure1(), fixpoint.Options{WithWSR: true, WithCorrect: true}},
+		{workload.Theorem2Adversary(), fixpoint.Options{WithWSR: true, WithCorrect: true}},
+		{workload.Chain(), fixpoint.Options{WithWSR: true, WithCorrect: true}},
+		{workload.Banking(), fixpoint.Options{WithCorrect: true}},
+		{workload.Random(workload.RandomConfig{NumTxs: 3, MaxSteps: 2, NumVars: 2}, 1979), fixpoint.Options{WithWSR: true, WithCorrect: true}},
+	}
+	for _, c := range cases {
+		counts, err := fixpoint.Classify(c.sys, c.opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, counts.Table())
+	}
+	return res, nil
+}
+
+// E2NoDelayProbability reports the Section 6 quantity |P|/|H| for each
+// fixpoint class on the banking system: the probability a uniformly random
+// request history is passed undelayed by the optimal scheduler of each
+// class.
+func E2NoDelayProbability() (*Result, error) {
+	sys := workload.Banking()
+	counts, err := fixpoint.Classify(sys, fixpoint.Options{WithCorrect: true})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("no-delay probability |P|/|H| — banking (|H| = 1260)",
+		"scheduler (optimal for)", "|P|", "|P|/|H|")
+	t.AddRow("serial (minimum info)", counts.Serial, report.Ratio(counts.Serial, counts.Total))
+	t.AddRow("CSR certifier", counts.CSR, report.Ratio(counts.CSR, counts.Total))
+	t.AddRow("serialization (syntactic info)", counts.SR, report.Ratio(counts.SR, counts.Total))
+	t.AddRow("maximum information", counts.Correct, report.Ratio(counts.Correct, counts.Total))
+	return &Result{ID: "E2", Title: "Section 6 — probability that no step waits", Tables: []*report.Table{t}}, nil
+}
+
+// E3OnlineFixpoints measures the realized fixpoint of each online
+// scheduler against the theoretical classes.
+func E3OnlineFixpoints() (*Result, error) {
+	res := &Result{ID: "E3", Title: "Realized fixpoints of online schedulers vs theory"}
+	for _, sys := range []*core.System{workload.Chain(), workload.LostUpdate(), workload.Cross()} {
+		tbl, counts, err := fixpoint.OnlineCounts(sys, []online.Scheduler{
+			online.NewSerial(),
+			online.NewConservative2PL(),
+			online.NewStrict2PL(lockmgr.Detect),
+			online.NewSGT(),
+			online.NewTO(),
+			online.NewTOThomas(),
+			online.NewOCC(),
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		if counts["serial"] > counts["strict-2pl/detect"] || counts["strict-2pl/detect"] > counts["sgt/delay"] {
+			return nil, fmt.Errorf("E3: hierarchy violated on %s: %v", sys.Name, counts)
+		}
+		res.Tables = append(res.Tables, tbl)
+	}
+	return res, nil
+}
+
+// E4SimulatedWaiting runs the goroutine simulator: waiting time and
+// throughput per scheduler as concurrency rises on a hot-spot workload.
+func E4SimulatedWaiting() (*Result, error) {
+	return e4WithScale(24, []int{2, 4, 8})
+}
+
+// E4Quick is a smaller variant for tests.
+func E4Quick() (*Result, error) { return e4WithScale(8, []int{2, 4}) }
+
+func e4WithScale(jobs int, userSweep []int) (*Result, error) {
+	res := &Result{ID: "E4", Title: "Section 6 — simulated waiting time vs fixpoint richness (goroutine runtime)"}
+	template := workload.Banking()
+	scheds := func() []online.Scheduler {
+		return []online.Scheduler{
+			online.NewSerial(),
+			online.NewStrict2PL(lockmgr.WoundWait),
+			online.NewSGTAborting(),
+			online.NewOCC(),
+		}
+	}
+	for _, users := range userSweep {
+		t := report.NewTable(fmt.Sprintf("banking, %d jobs, %d users", jobs, users),
+			"scheduler", "committed", "aborts", "deadlock-breaks", "waits", "mean-wait-µs", "p95-wait-µs", "throughput-tx/s")
+		for _, sched := range scheds() {
+			inst := sim.Instantiate(template, jobs)
+			m, err := sim.Run(sim.Config{
+				System:   inst,
+				Sched:    sched,
+				Users:    users,
+				ExecTime: 100 * time.Microsecond,
+				Seed:     1979,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if m.Committed != jobs {
+				return nil, fmt.Errorf("E4: %s committed %d of %d", sched.Name(), m.Committed, jobs)
+			}
+			t.AddRow(sched.Name(), m.Committed, m.Aborts, m.DeadlockBreaks,
+				m.WaitNs.N(),
+				m.WaitNs.Mean()/1e3,
+				m.WaitNs.Percentile(95)/1e3,
+				m.Throughput)
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// E5PolicyComparison compares locking policies by the size of their
+// achievable output sets (Section 5.2's performance measure) on the
+// systems where the paper's separations appear.
+func E5PolicyComparison() (*Result, error) {
+	mk := func(vars ...core.Var) core.Transaction {
+		steps := make([]core.Step, len(vars))
+		for i, v := range vars {
+			steps[i] = core.Step{Var: v, Kind: core.Update}
+		}
+		return core.Transaction{Steps: steps}
+	}
+	cases := []struct {
+		name string
+		sys  *core.System
+	}{
+		{"prime-gap (T1=x,y T2=x T3=y)", (&core.System{Txs: []core.Transaction{mk("x", "y"), mk("x"), mk("y")}}).Normalize()},
+		{"private-var (T1=y,x,p T2=y)", (&core.System{Txs: []core.Transaction{mk("y", "x", "p"), mk("y")}}).Normalize()},
+		{"cross", syntaxOf(workload.Cross())},
+	}
+	res := &Result{ID: "E5", Title: "Section 5.4 — 2PL vs 2PL′ vs selective 2PL (achievable output sets)"}
+	for _, c := range cases {
+		total := 0
+		schedule.Enumerate(c.sys.Format(), func(core.Schedule) bool { total++; return true })
+		t := report.NewTable(fmt.Sprintf("%s (|H| = %d)", c.name, total),
+			"policy", "separable", "|outputs|", "share of H")
+		for _, p := range []locking.Policy{locking.TwoPhase{}, locking.TwoPhasePrime{X: "x"}, locking.Selective2PL{}} {
+			ls, err := p.Transform(c.sys)
+			if err != nil {
+				return nil, err
+			}
+			outs, err := locking.Outputs(ls)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(p.Name(), p.Separable(), len(outs), report.Ratio(len(outs), total))
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// E6TreeLocking compares tree locking with strict 2PL on hierarchical
+// path workloads, both by realized fixpoint and by simulated waiting.
+func E6TreeLocking() (*Result, error) {
+	res := &Result{ID: "E6", Title: "Section 5.5 — structured data: tree locking vs 2PL"}
+	// Fixpoint comparison on a small two-path system.
+	mk := func(path ...core.Var) core.Transaction {
+		steps := make([]core.Step, len(path))
+		for i, v := range path {
+			steps[i] = core.Step{Var: v, Kind: core.Update,
+				Fn: func(l []core.Value) core.Value { return l[len(l)-1] + 1 }}
+		}
+		return core.Transaction{Steps: steps}
+	}
+	small := (&core.System{
+		Name: "two-paths",
+		Txs:  []core.Transaction{mk("n0", "n1", "n3"), mk("n0", "n2", "n6")},
+	}).Normalize()
+	tbl, counts, err := fixpoint.OnlineCounts(small, []online.Scheduler{
+		online.NewStrict2PL(lockmgr.Detect),
+		online.NewTreeLock(),
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	if counts["tree-lock"] <= counts["strict-2pl/detect"] {
+		return nil, fmt.Errorf("E6: tree lock (%d) should beat strict 2PL (%d) on paths", counts["tree-lock"], counts["strict-2pl/detect"])
+	}
+	res.Tables = append(res.Tables, tbl)
+	// Simulation on a deeper tree.
+	inst := sim.Instantiate(workload.PathWorkload(4, 3, 7), 18)
+	t := report.NewTable("tree depth 4, 18 jobs, 6 users",
+		"scheduler", "committed", "aborts", "waits", "mean-wait-µs", "throughput-tx/s")
+	for _, sched := range []online.Scheduler{online.NewStrict2PL(lockmgr.WoundWait), online.NewTreeLock()} {
+		m, err := sim.Run(sim.Config{System: inst, Sched: sched, Users: 6, ExecTime: 100 * time.Microsecond, Seed: 55})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sched.Name(), m.Committed, m.Aborts, m.WaitNs.N(), m.WaitNs.Mean()/1e3, m.Throughput)
+	}
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}
+
+// E7DeadlockPolicies is the design-choice ablation: the four deadlock
+// handling strategies under a deadlock-prone workload.
+func E7DeadlockPolicies() (*Result, error) {
+	inst := sim.Instantiate(workload.Cross(), 16)
+	t := report.NewTable("deadlock handling ablation — cross workload, 16 jobs, 8 users",
+		"policy", "committed", "aborts", "deadlock-breaks", "waits", "mean-wait-µs", "throughput-tx/s")
+	for _, policy := range []lockmgr.Policy{lockmgr.Detect, lockmgr.NoWait, lockmgr.WaitDie, lockmgr.WoundWait} {
+		m, err := sim.Run(sim.Config{
+			System:   inst,
+			Sched:    online.NewStrict2PL(policy),
+			Users:    8,
+			ExecTime: 50 * time.Microsecond,
+			Seed:     2024,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if m.Committed != 16 {
+			return nil, fmt.Errorf("E7: %v committed %d of 16", policy, m.Committed)
+		}
+		t.AddRow(policy.String(), m.Committed, m.Aborts, m.DeadlockBreaks, m.WaitNs.N(), m.WaitNs.Mean()/1e3, m.Throughput)
+	}
+	return &Result{ID: "E7", Title: "Ablation — deadlock handling under strict 2PL", Tables: []*report.Table{t}}, nil
+}
+
+// RunAll executes every experiment in order and returns the results.
+func RunAll() ([]*Result, error) {
+	m, order := All()
+	var out []*Result
+	for _, id := range order {
+		r, err := m[id]()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	m, _ := All()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run green and produce non-empty output; the
+// in-experiment invariant checks (nesting, adversary coverage, strict
+// separations) are the real assertions.
+func TestEveryExperimentRuns(t *testing.T) {
+	m, order := All()
+	if len(m) != len(order) {
+		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
+	}
+	for _, id := range order {
+		if id == "E4" {
+			continue // covered by TestE4Quick to keep the suite fast
+		}
+		r, err := m[id]()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID != id {
+			t.Errorf("%s returned result id %s", id, r.ID)
+		}
+		out := r.String()
+		if len(out) < 40 {
+			t.Errorf("%s output suspiciously small:\n%s", id, out)
+		}
+		md := r.Markdown()
+		if !strings.HasPrefix(md, "## "+id) {
+			t.Errorf("%s markdown header wrong", id)
+		}
+	}
+}
+
+func TestE4Quick(t *testing.T) {
+	r, err := E4Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E4 quick tables = %d", len(r.Tables))
+	}
+}
+
+func TestIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Errorf("IDs = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Error("IDs not sorted")
+		}
+	}
+}
+
+func TestResultStringFormat(t *testing.T) {
+	r, err := F1WeaklySerializableHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"F1", "Herbrand value", "f12"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package fixpoint enumerates the schedule space H of a small transaction
+// system and classifies every history against the paper's nested fixpoint
+// sets:
+//
+//	serial ⊆ CSR ⊆ SR(T) ⊆ WSR(T) ⊆ C(T) ⊆ H
+//
+// It also measures the fixpoint sets realized by online schedulers, and
+// reports the Section 6 quantity |P|/|H| — the probability that a
+// uniformly random request history passes a scheduler undelayed.
+package fixpoint
+
+import (
+	"fmt"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+	"optcc/internal/herbrand"
+	"optcc/internal/online"
+	"optcc/internal/report"
+	"optcc/internal/schedule"
+	"optcc/internal/wsr"
+)
+
+// Options configures a classification run.
+type Options struct {
+	// WithWSR enables WSR(T) membership (requires an executable system).
+	WithWSR bool
+	// WithCorrect enables C(T) membership (requires interpretations and
+	// integrity constraints).
+	WithCorrect bool
+	// Limit bounds |H| for safety (0 means 200 000).
+	Limit int
+}
+
+// Counts holds the classification totals for one system.
+type Counts struct {
+	System  string
+	Total   int
+	Serial  int
+	CSR     int
+	SR      int
+	WSR     int // -1 when not computed
+	Correct int // -1 when not computed
+}
+
+// Classify enumerates H(T) and counts membership in every fixpoint class.
+// It verifies the theoretical inclusions as it goes and returns an error if
+// any is violated (which would indicate an implementation bug, not a
+// property of the system).
+func Classify(sys *core.System, opts Options) (*Counts, error) {
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = 200_000
+	}
+	hc, err := herbrand.NewChecker(sys)
+	if err != nil {
+		return nil, err
+	}
+	var wc *wsr.Checker
+	if opts.WithWSR {
+		wc, err = wsr.NewChecker(sys, wsr.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Counts{System: sys.Name, WSR: -1, Correct: -1}
+	if opts.WithWSR {
+		c.WSR = 0
+	}
+	if opts.WithCorrect {
+		c.Correct = 0
+	}
+	var classifyErr error
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		c.Total++
+		if c.Total > limit {
+			classifyErr = fmt.Errorf("fixpoint: |H| exceeds limit %d for %s", limit, sys.Name)
+			return false
+		}
+		serial := h.IsSerial()
+		csr, _, err := conflict.Serializable(sys, h)
+		if err != nil {
+			classifyErr = err
+			return false
+		}
+		sr, _, err := hc.Serializable(h)
+		if err != nil {
+			classifyErr = err
+			return false
+		}
+		if serial {
+			c.Serial++
+		}
+		if csr {
+			c.CSR++
+		}
+		if sr {
+			c.SR++
+		}
+		if serial && !csr {
+			classifyErr = fmt.Errorf("fixpoint: serial %v not CSR", h)
+			return false
+		}
+		if csr && !sr {
+			classifyErr = fmt.Errorf("fixpoint: %v is CSR but not SR", h)
+			return false
+		}
+		weak := false
+		if opts.WithWSR {
+			weak, _, err = wc.Weak(h)
+			if err != nil {
+				classifyErr = err
+				return false
+			}
+			if weak {
+				c.WSR++
+			}
+			if sr && !weak {
+				classifyErr = fmt.Errorf("fixpoint: %v is SR but not WSR", h)
+				return false
+			}
+		}
+		if opts.WithCorrect {
+			ok, err := core.ScheduleCorrect(sys, h)
+			if err != nil {
+				classifyErr = err
+				return false
+			}
+			if ok {
+				c.Correct++
+			}
+			if opts.WithWSR && weak && !ok {
+				classifyErr = fmt.Errorf("fixpoint: %v is WSR but incorrect", h)
+				return false
+			}
+		}
+		return true
+	})
+	if classifyErr != nil {
+		return nil, classifyErr
+	}
+	return c, nil
+}
+
+// Table renders the counts with the |P|/|H| ratios of Section 6.
+func (c *Counts) Table() *report.Table {
+	t := report.NewTable(fmt.Sprintf("fixpoint hierarchy — %s", c.System),
+		"class", "|P|", "|P|/|H|")
+	add := func(name string, n int) {
+		if n < 0 {
+			return
+		}
+		t.AddRow(name, n, report.Ratio(n, c.Total))
+	}
+	add("serial", c.Serial)
+	add("CSR", c.CSR)
+	add("SR", c.SR)
+	add("WSR", c.WSR)
+	add("C(T)", c.Correct)
+	add("H", c.Total)
+	return t
+}
+
+// OnlineCounts measures the realized fixpoint set of each scheduler: the
+// number of histories in H that pass entirely undelayed.
+func OnlineCounts(sys *core.System, scheds []online.Scheduler, limit int) (*report.Table, map[string]int, error) {
+	if limit <= 0 {
+		limit = 200_000
+	}
+	hs := schedule.All(sys.Format(), limit)
+	t := report.NewTable(fmt.Sprintf("online realized fixpoints — %s", sys.Name),
+		"scheduler", "|P|", "|P|/|H|")
+	out := map[string]int{}
+	for _, s := range scheds {
+		n, err := online.Fixpoint(sys, s, hs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[s.Name()] = n
+		t.AddRow(s.Name(), n, report.Ratio(n, len(hs)))
+	}
+	return t, out, nil
+}

@@ -1,0 +1,109 @@
+package fixpoint
+
+import (
+	"strings"
+	"testing"
+
+	"optcc/internal/lockmgr"
+	"optcc/internal/online"
+	"optcc/internal/workload"
+)
+
+func TestClassifyFigure1(t *testing.T) {
+	c, err := Classify(workload.Figure1(), Options{WithWSR: true, WithCorrect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 3 {
+		t.Fatalf("|H| = %d, want 3", c.Total)
+	}
+	if c.Serial != 2 {
+		t.Errorf("serial = %d, want 2", c.Serial)
+	}
+	if c.SR != 2 {
+		t.Errorf("SR = %d, want 2 (the non-serial history is outside SR)", c.SR)
+	}
+	if c.WSR != 3 {
+		t.Errorf("WSR = %d, want 3 (Figure 1's point: the history is weakly serializable)", c.WSR)
+	}
+	if c.Correct != 3 {
+		t.Errorf("C = %d, want 3", c.Correct)
+	}
+}
+
+func TestClassifyBanking(t *testing.T) {
+	c, err := Classify(workload.Banking(), Options{WithCorrect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 1260 {
+		t.Fatalf("|H| = %d, want 1260 for format (3,2,4)", c.Total)
+	}
+	if !(c.Serial < c.CSR && c.CSR <= c.SR && c.SR <= c.Correct && c.Correct < c.Total) {
+		t.Errorf("hierarchy not strict where expected: serial=%d CSR=%d SR=%d C=%d H=%d",
+			c.Serial, c.CSR, c.SR, c.Correct, c.Total)
+	}
+	if c.Serial != 6 {
+		t.Errorf("serial = %d, want 3! = 6", c.Serial)
+	}
+}
+
+func TestClassifyTheorem2Adversary(t *testing.T) {
+	c, err := Classify(workload.Theorem2Adversary(), Options{WithWSR: true, WithCorrect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the adversary, only the serial schedules are correct: that is
+	// precisely why the serial scheduler is optimal at minimum information.
+	if c.Correct != c.Serial {
+		t.Errorf("C = %d, serial = %d; Theorem 2 expects equality", c.Correct, c.Serial)
+	}
+}
+
+func TestClassifyLimit(t *testing.T) {
+	if _, err := Classify(workload.Banking(), Options{Limit: 10}); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestCountsTable(t *testing.T) {
+	c, err := Classify(workload.Figure1(), Options{WithWSR: true, WithCorrect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Table().String()
+	for _, want := range []string{"serial", "CSR", "SR", "WSR", "C(T)", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// WSR row suppressed when not computed.
+	c2, err := Classify(workload.Figure1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c2.Table().String(), "WSR") {
+		t.Error("WSR row present without WithWSR")
+	}
+}
+
+func TestOnlineCountsOrdering(t *testing.T) {
+	sys := workload.Chain()
+	tbl, counts, err := OnlineCounts(sys, []online.Scheduler{
+		online.NewSerial(),
+		online.NewStrict2PL(lockmgr.Detect),
+		online.NewSGT(),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("table rows = %d", tbl.Len())
+	}
+	if !(counts["serial"] <= counts["strict-2pl/detect"] && counts["strict-2pl/detect"] <= counts["sgt/delay"]) {
+		t.Errorf("online hierarchy violated: %v", counts)
+	}
+	if counts["serial"] >= counts["sgt/delay"] {
+		t.Errorf("no strict growth on chain system: %v", counts)
+	}
+}

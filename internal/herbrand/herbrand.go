@@ -1,0 +1,288 @@
+// Package herbrand implements the canonical (Herbrand) semantics of
+// Section 4.2 of Kung & Papadimitriou 1979.
+//
+// Under Herbrand semantics the domain of every variable is the set of terms
+// over the function symbols f_ij and the initial variable values: the
+// interpretation of f_ij applied to terms a1..aj is the term
+// "f_ij(a1,...,aj)". The Herbrand interpretation records the whole history
+// of every global variable, so (by Herbrand's theorem, cf. [Manna 74]) two
+// step sequences equivalent under it are equivalent under every
+// interpretation.
+//
+// A schedule h is serializable — h ∈ SR(T) — iff its execution results
+// under Herbrand semantics equal those of some serial schedule. Theorem 3
+// states the serialization scheduler (fixpoint SR(T)) is optimal among all
+// schedulers using complete syntactic information.
+//
+// Step kinds refine the universe exactly as the syntax declares: a Read
+// step's write-back is the identity (the global term is unchanged) and a
+// Write step's symbol is independent of the value just read (its own read
+// term is excluded from the argument list).
+package herbrand
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"optcc/internal/core"
+)
+
+// Term is a hash-consed element of the Herbrand universe: either a variable
+// leaf (Args == nil) or an application of a function symbol. Terms from the
+// same Universe are pointer-comparable: structural equality is pointer
+// equality.
+type Term struct {
+	Sym  string
+	Args []*Term
+	id   int
+}
+
+// String renders the term in the paper's notation, e.g. "f12(f21(f11(x)))".
+func (t *Term) String() string {
+	if t == nil {
+		return "⊥"
+	}
+	if t.Args == nil {
+		return t.Sym
+	}
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return t.Sym + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Universe interns terms so that structurally equal terms are the same
+// pointer. A Universe is not safe for concurrent use.
+type Universe struct {
+	table map[string]*Term
+	next  int
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{table: map[string]*Term{}}
+}
+
+// Var returns the leaf term for the initial value of a variable.
+func (u *Universe) Var(v core.Var) *Term {
+	return u.intern(string(v), nil)
+}
+
+// Apply returns the application term sym(args...).
+func (u *Universe) Apply(sym string, args []*Term) *Term {
+	return u.intern(sym, args)
+}
+
+func (u *Universe) intern(sym string, args []*Term) *Term {
+	var b strings.Builder
+	b.WriteString(sym)
+	if args != nil {
+		b.WriteByte('(')
+		for i, a := range args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(a.id))
+		}
+		b.WriteByte(')')
+	}
+	key := b.String()
+	if t, ok := u.table[key]; ok {
+		return t
+	}
+	var argsCopy []*Term
+	if args != nil {
+		argsCopy = make([]*Term, len(args))
+		copy(argsCopy, args)
+	}
+	t := &Term{Sym: sym, Args: argsCopy, id: u.next}
+	u.next++
+	u.table[key] = t
+	return t
+}
+
+// Size returns the number of distinct terms interned so far.
+func (u *Universe) Size() int { return len(u.table) }
+
+// Final is the execution result of a schedule under Herbrand semantics: the
+// final term of every global variable.
+type Final map[core.Var]*Term
+
+// Equal reports whether two finals from the same Universe agree on every
+// variable.
+func (f Final) Equal(o Final) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for v, t := range f {
+		if o[v] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a deterministic encoding of the final, usable as a map key
+// for finals produced by the same Universe.
+func (f Final) Key() string {
+	vars := make([]string, 0, len(f))
+	for v := range f {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s=%d;", v, f[core.Var(v)].id)
+	}
+	return b.String()
+}
+
+// String renders the final deterministically.
+func (f Final) String() string {
+	vars := make([]string, 0, len(f))
+	for v := range f {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = v + "=" + f[core.Var(v)].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Eval executes the schedule symbolically in the universe and returns the
+// final term of every global variable. The schedule must be a legal
+// complete schedule of the system (legal prefixes are also accepted; the
+// final then reflects the prefix).
+func Eval(u *Universe, sys *core.System, h core.Schedule) (Final, error) {
+	if !h.LegalPrefix(sys.Format()) {
+		return nil, fmt.Errorf("herbrand: schedule %v is not a legal prefix of format %v", h, sys.Format())
+	}
+	g := Final{}
+	for _, v := range sys.Vars() {
+		g[v] = u.Var(v)
+	}
+	locals := make([][]*Term, sys.NumTxs())
+	for _, id := range h {
+		step := sys.Step(id)
+		read := g[step.Var]
+		locals[id.Tx] = append(locals[id.Tx], read)
+		switch step.Kind {
+		case core.Read:
+			// identity write-back: global term unchanged
+		case core.Write:
+			// f_ij is independent of t_ij: exclude the step's own read.
+			args := locals[id.Tx][:len(locals[id.Tx])-1]
+			g[step.Var] = u.Apply(step.FnName, args)
+		default:
+			g[step.Var] = u.Apply(step.FnName, locals[id.Tx])
+		}
+	}
+	return g, nil
+}
+
+// Checker decides SR(T) membership for one system, caching the Herbrand
+// finals of all n! serial schedules.
+type Checker struct {
+	sys     *core.System
+	uni     *Universe
+	serials []serialFinal
+}
+
+type serialFinal struct {
+	order []int
+	final Final
+}
+
+// NewChecker prepares a checker for the system. The system must be
+// normalized (function symbols named); call (*core.System).Normalize first.
+func NewChecker(sys *core.System) (*Checker, error) {
+	c := &Checker{sys: sys, uni: NewUniverse()}
+	n := sys.NumTxs()
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == n {
+			order := append([]int(nil), perm...)
+			h := core.SerialSchedule(sys.Format(), order)
+			f, err := Eval(c.uni, sys, h)
+			if err != nil {
+				return err
+			}
+			c.serials = append(c.serials, serialFinal{order: order, final: f})
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm[depth] = i
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+			used[i] = false
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Universe returns the checker's term universe (useful for evaluating
+// further schedules in the same universe).
+func (c *Checker) Universe() *Universe { return c.uni }
+
+// Final evaluates a schedule in the checker's universe.
+func (c *Checker) Final(h core.Schedule) (Final, error) {
+	return Eval(c.uni, c.sys, h)
+}
+
+// Serializable reports whether h ∈ SR(T) and, if so, returns the
+// transaction order of a witnessing serial schedule.
+func (c *Checker) Serializable(h core.Schedule) (bool, []int, error) {
+	f, err := c.Final(h)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, s := range c.serials {
+		if f.Equal(s.final) {
+			return true, s.order, nil
+		}
+	}
+	return false, nil, nil
+}
+
+// Equivalent reports whether two schedules have identical Herbrand
+// execution results.
+func (c *Checker) Equivalent(h1, h2 core.Schedule) (bool, error) {
+	f1, err := c.Final(h1)
+	if err != nil {
+		return false, err
+	}
+	f2, err := c.Final(h2)
+	if err != nil {
+		return false, err
+	}
+	return f1.Equal(f2), nil
+}
+
+// SerialFinals returns the distinct Herbrand finals of serial schedules,
+// with one witnessing order each.
+func (c *Checker) SerialFinals() map[string][]int {
+	out := map[string][]int{}
+	for _, s := range c.serials {
+		k := s.final.Key()
+		if _, ok := out[k]; !ok {
+			out[k] = s.order
+		}
+	}
+	return out
+}

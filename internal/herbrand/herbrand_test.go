@@ -1,0 +1,290 @@
+package herbrand
+
+import (
+	"testing"
+
+	"optcc/internal/core"
+	"optcc/internal/schedule"
+)
+
+// figure1 is the transaction system of Figure 1: T1 = (x←x+1, x←2x),
+// T2 = (x←x+1). Interpretations are irrelevant here; only syntax matters.
+func figure1() *core.System {
+	return (&core.System{
+		Name: "figure1",
+		Txs: []core.Transaction{
+			{Name: "T1", Steps: []core.Step{
+				{Var: "x", Kind: core.Update},
+				{Var: "x", Kind: core.Update},
+			}},
+			{Name: "T2", Steps: []core.Step{
+				{Var: "x", Kind: core.Update},
+			}},
+		},
+	}).Normalize()
+}
+
+func TestUniverseInterning(t *testing.T) {
+	u := NewUniverse()
+	x1 := u.Var("x")
+	x2 := u.Var("x")
+	if x1 != x2 {
+		t.Error("same leaf interned twice")
+	}
+	a := u.Apply("f", []*Term{x1})
+	b := u.Apply("f", []*Term{x2})
+	if a != b {
+		t.Error("structurally equal applications interned twice")
+	}
+	c := u.Apply("g", []*Term{x1})
+	if a == c {
+		t.Error("distinct symbols share a term")
+	}
+	if u.Size() != 3 {
+		t.Errorf("universe size = %d, want 3", u.Size())
+	}
+}
+
+func TestTermString(t *testing.T) {
+	u := NewUniverse()
+	x := u.Var("x")
+	f := u.Apply("f11", []*Term{x})
+	g := u.Apply("f21", []*Term{f})
+	if got := g.String(); got != "f21(f11(x))" {
+		t.Errorf("term = %q", got)
+	}
+	var nilTerm *Term
+	if nilTerm.String() != "⊥" {
+		t.Error("nil term string")
+	}
+}
+
+func TestFigure1HistoryNotSerializable(t *testing.T) {
+	sys := figure1()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h = (T11, T21, T12): Herbrand value f12(f21(f11(x))) differs from
+	// both serial values f12(f11(f21(x))) and f21(f12(f11(x))).
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	ok, _, err := c.Serializable(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Figure 1 history judged serializable; the paper proves it is not")
+	}
+	f, err := c.Final(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f["x"].String(); got != "f12(f11(x),f21(f11(x)))" && got != "f12(f21(f11(x)))" {
+		// With Update steps, f12 sees locals (t11, t12) where t11 = f11(x)
+		// and t12 = f21(f11(x)).
+		t.Logf("herbrand value of x: %s", got)
+	}
+}
+
+func TestSerialSchedulesAreSerializable(t *testing.T) {
+	sys := figure1()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range schedule.Serials(sys.Format()) {
+		ok, order, err := c.Serializable(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("serial schedule %v not serializable", h)
+		}
+		if want, _ := h.SerialOrder(); len(order) != len(want) {
+			t.Errorf("witness order %v for %v", order, h)
+		}
+	}
+}
+
+// Two transactions on disjoint variables: every interleaving is
+// serializable.
+func TestDisjointVariablesAllSerializable(t *testing.T) {
+	sys := (&core.System{
+		Name: "disjoint",
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "x", Kind: core.Update}}},
+			{Steps: []core.Step{{Var: "y", Kind: core.Update}, {Var: "y", Kind: core.Update}}},
+		},
+	}).Normalize()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		ok, _, err := c.Serializable(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("disjoint-variable schedule %v not serializable", h)
+		}
+		return true
+	})
+}
+
+// Read-only transactions never conflict: every interleaving serializable.
+func TestReadOnlyAllSerializable(t *testing.T) {
+	sys := (&core.System{
+		Name: "readers",
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Read}, {Var: "y", Kind: core.Read}}},
+			{Steps: []core.Step{{Var: "y", Kind: core.Read}, {Var: "x", Kind: core.Read}}},
+		},
+	}).Normalize()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, sr := 0, 0
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		n++
+		ok, _, err := c.Serializable(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			sr++
+		}
+		return true
+	})
+	if n != sr {
+		t.Errorf("%d of %d read-only schedules serializable; want all", sr, n)
+	}
+}
+
+// Classic non-serializable R/W pattern: two transactions each read x then
+// write x (lost update). The interleaved R1 R2 W1 W2 is not serializable.
+func TestLostUpdateNotSerializable(t *testing.T) {
+	sys := (&core.System{
+		Name: "lostupdate",
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Read}, {Var: "x", Kind: core.Write}}},
+			{Steps: []core.Step{{Var: "x", Kind: core.Read}, {Var: "x", Kind: core.Write}}},
+		},
+	}).Normalize()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 1, Idx: 1}}
+	ok, _, err := c.Serializable(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("lost-update anomaly judged serializable")
+	}
+}
+
+func TestWriteStepExcludesOwnRead(t *testing.T) {
+	// A single Write step's term must not mention the variable it
+	// overwrites (blind write).
+	sys := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Write}}}},
+	}).Normalize()
+	u := NewUniverse()
+	f, err := Eval(u, sys, core.Schedule{{Tx: 0, Idx: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f["x"].String(); got != "f11()" {
+		t.Errorf("blind write term = %q, want f11()", got)
+	}
+}
+
+func TestUpdateStepIncludesOwnRead(t *testing.T) {
+	sys := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Update}}}},
+	}).Normalize()
+	u := NewUniverse()
+	f, err := Eval(u, sys, core.Schedule{{Tx: 0, Idx: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f["x"].String(); got != "f11(x)" {
+		t.Errorf("update term = %q, want f11(x)", got)
+	}
+}
+
+func TestEvalRejectsIllegalSchedules(t *testing.T) {
+	sys := figure1()
+	u := NewUniverse()
+	if _, err := Eval(u, sys, core.Schedule{{Tx: 0, Idx: 1}}); err == nil {
+		t.Error("illegal schedule evaluated")
+	}
+}
+
+func TestEquivalenceIsReflexiveSymmetric(t *testing.T) {
+	sys := figure1()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := schedule.All(sys.Format(), 0)
+	for _, a := range hs {
+		eq, err := c.Equivalent(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("%v not equivalent to itself", a)
+		}
+	}
+	for _, a := range hs {
+		for _, b := range hs {
+			ab, _ := c.Equivalent(a, b)
+			ba, _ := c.Equivalent(b, a)
+			if ab != ba {
+				t.Errorf("equivalence not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestSerialFinalsDistinct(t *testing.T) {
+	sys := figure1()
+	c, err := NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := c.SerialFinals()
+	if len(finals) != 2 {
+		t.Errorf("figure-1 system has %d distinct serial finals, want 2", len(finals))
+	}
+}
+
+func TestFinalKeyAndString(t *testing.T) {
+	sys := figure1()
+	u := NewUniverse()
+	f, err := Eval(u, sys, core.SerialSchedule(sys.Format(), []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Eval(u, sys, core.SerialSchedule(sys.Format(), []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Key() != g.Key() {
+		t.Error("identical finals have different keys")
+	}
+	if !f.Equal(g) {
+		t.Error("identical finals not equal")
+	}
+	if f.String() == "" {
+		t.Error("empty final string")
+	}
+	h, _ := Eval(u, sys, core.SerialSchedule(sys.Format(), []int{1, 0}))
+	if f.Equal(h) {
+		t.Error("distinct serial orders evaluate equal on figure-1")
+	}
+}

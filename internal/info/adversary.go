@@ -1,0 +1,171 @@
+package info
+
+import (
+	"fmt"
+
+	"optcc/internal/core"
+	"optcc/internal/herbrand"
+)
+
+// BuildTheorem2Adversary constructs, for a non-serial schedule h of the
+// given format, a transaction system T' with that format such that
+// h ∉ C(T'). This is the construction in the proof of Theorem 2: pick steps
+// T_il, T_jm, T_il' interleaved as (..., T_il, ..., T_jm, ..., T_il', ...);
+// interpret T_il as x←x+1, T_il' as x←x−1, T_jm as x←2x, every other step
+// as a pure read of x, and take IC = {x = 0}. Every transaction alone
+// preserves x = 0, but h drives x to 1.
+//
+// It returns an error if h is serial (no adversary exists: serial schedules
+// are correct for every system of the format).
+func BuildTheorem2Adversary(format []int, h core.Schedule) (*core.System, error) {
+	if !h.Legal(format) {
+		return nil, fmt.Errorf("adversary: schedule %v not legal for format %v", h, format)
+	}
+	a, b, c, ok := interleavePattern(h)
+	if !ok {
+		return nil, fmt.Errorf("adversary: schedule %v is serial; no Theorem-2 adversary exists", h)
+	}
+	last := func(l []core.Value) core.Value { return l[len(l)-1] }
+	txs := make([]core.Transaction, len(format))
+	for i, m := range format {
+		steps := make([]core.Step, m)
+		for j := range steps {
+			steps[j] = core.Step{Var: "x", Kind: core.Read}
+		}
+		txs[i] = core.Transaction{Steps: steps}
+	}
+	set := func(id core.StepID, fn core.StepFunc) {
+		txs[id.Tx].Steps[id.Idx] = core.Step{Var: "x", Kind: core.Update, Fn: fn}
+	}
+	set(h[a], func(l []core.Value) core.Value { return last(l) + 1 })
+	set(h[c], func(l []core.Value) core.Value { return last(l) - 1 })
+	set(h[b], func(l []core.Value) core.Value { return 2 * last(l) })
+	sys := &core.System{
+		Name: "theorem2-adversary",
+		Txs:  txs,
+		IC: &core.IC{
+			Name:     "x=0",
+			Check:    func(db core.DB) bool { return db["x"] == 0 },
+			Initials: func() []core.DB { return []core.DB{{"x": 0}} },
+		},
+	}
+	return sys.Normalize(), nil
+}
+
+// interleavePattern finds positions a < b < c in h with
+// h[a].Tx == h[c].Tx ≠ h[b].Tx. Such a pattern exists iff h is not serial.
+func interleavePattern(h core.Schedule) (a, b, c int, ok bool) {
+	lastPos := map[int]int{}
+	for pos, id := range h {
+		if prev, seen := lastPos[id.Tx]; seen && prev != pos-1 {
+			// Some other transaction's step lies strictly between prev and
+			// pos; find the first one.
+			for k := prev + 1; k < pos; k++ {
+				if h[k].Tx != id.Tx {
+					return prev, k, pos, true
+				}
+			}
+		}
+		lastPos[id.Tx] = pos
+	}
+	return 0, 0, 0, false
+}
+
+// HerbrandAdversary is the transaction system T' built in the proof of
+// Theorem 3: same syntax as T, Herbrand interpretations, and integrity
+// constraints "the global values are those produced by some concatenation
+// of serial executions of transactions (possibly with repetitions and
+// omissions) from the initial values". Every transaction alone preserves
+// the IC, yet C(T') = SR(T) on complete schedules of the paper's pure
+// update model — so no scheduler with only syntactic information can pass
+// a schedule outside SR(T).
+//
+// With the Read/Write syntactic refinements, a blind write whose value
+// ignores an interleaved transaction can make a non-serializable history
+// coincide with an omission concatenation; the adversary then accepts it
+// (it is a sound over-approximation of SR, exact for all-Update systems).
+type HerbrandAdversary struct {
+	sys   *core.System
+	uni   *herbrand.Universe
+	reach map[string]bool
+}
+
+// NewHerbrandAdversary builds the adversary for the system's syntax,
+// enumerating serially reachable Herbrand states up to maxConcat
+// transaction executions (0 means NumTxs + 1, enough to cover every
+// permutation plus one repetition).
+func NewHerbrandAdversary(sys *core.System, maxConcat int) (*HerbrandAdversary, error) {
+	if maxConcat <= 0 {
+		maxConcat = sys.NumTxs() + 1
+	}
+	a := &HerbrandAdversary{
+		sys:   sys,
+		uni:   herbrand.NewUniverse(),
+		reach: map[string]bool{},
+	}
+	initial := a.initialFinal()
+	a.reach[initial.Key()] = true
+	frontier := []herbrand.Final{initial}
+	for depth := 0; depth < maxConcat; depth++ {
+		var next []herbrand.Final
+		for _, f := range frontier {
+			for ti := 0; ti < sys.NumTxs(); ti++ {
+				g := a.applyTx(f, ti)
+				if a.reach[g.Key()] {
+					continue
+				}
+				a.reach[g.Key()] = true
+				next = append(next, g)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	return a, nil
+}
+
+func (a *HerbrandAdversary) initialFinal() herbrand.Final {
+	f := herbrand.Final{}
+	for _, v := range a.sys.Vars() {
+		f[v] = a.uni.Var(v)
+	}
+	return f
+}
+
+// applyTx executes transaction ti serially (symbolically) from the state f.
+func (a *HerbrandAdversary) applyTx(f herbrand.Final, ti int) herbrand.Final {
+	g := herbrand.Final{}
+	for v, t := range f {
+		g[v] = t
+	}
+	var locals []*herbrand.Term
+	for j := range a.sys.Txs[ti].Steps {
+		step := a.sys.Txs[ti].Steps[j]
+		read := g[step.Var]
+		locals = append(locals, read)
+		switch step.Kind {
+		case core.Read:
+		case core.Write:
+			g[step.Var] = a.uni.Apply(step.FnName, locals[:len(locals)-1])
+		default:
+			g[step.Var] = a.uni.Apply(step.FnName, locals)
+		}
+	}
+	return g
+}
+
+// Correct reports whether h ∈ C(T') for the adversary system: whether h's
+// Herbrand execution result is serially reachable.
+func (a *HerbrandAdversary) Correct(h core.Schedule) (bool, error) {
+	f, err := herbrand.Eval(a.uni, a.sys, h)
+	if err != nil {
+		return false, err
+	}
+	return a.reach[f.Key()], nil
+}
+
+// ReachableStates returns the number of serially reachable Herbrand states
+// enumerated.
+func (a *HerbrandAdversary) ReachableStates() int { return len(a.reach) }

@@ -1,0 +1,141 @@
+package info
+
+import (
+	"testing"
+
+	"optcc/internal/core"
+	"optcc/internal/herbrand"
+	"optcc/internal/schedule"
+)
+
+// Theorem 2, fully mechanized: for EVERY non-serial schedule h of a format,
+// the constructed adversary T' has (i) individually correct transactions,
+// (ii) correct serial schedules, and (iii) h ∉ C(T').
+func TestTheorem2AdversaryBreaksEveryNonSerialSchedule(t *testing.T) {
+	for _, format := range [][]int{{2, 1}, {2, 2}, {1, 1, 1}, {3, 2}} {
+		schedule.Enumerate(format, func(h core.Schedule) bool {
+			if h.IsSerial() {
+				if _, err := BuildTheorem2Adversary(format, h); err == nil {
+					t.Errorf("adversary built for serial schedule %v", h)
+				}
+				return true
+			}
+			adv, err := BuildTheorem2Adversary(format, h.Clone())
+			if err != nil {
+				t.Fatalf("format %v, h=%v: %v", format, h, err)
+			}
+			if err := adv.Validate(); err != nil {
+				t.Fatalf("adversary invalid: %v", err)
+			}
+			// (i) every transaction alone preserves x = 0.
+			for ti := range adv.Txs {
+				final, err := core.ExecSerialOrder(adv, []int{ti}, core.DB{"x": 0})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if final["x"] != 0 {
+					t.Fatalf("adversary transaction %d alone violates IC: %v", ti, final)
+				}
+			}
+			// (ii) serial schedules are correct.
+			for _, s := range schedule.Serials(format) {
+				ok, err := core.ScheduleCorrect(adv, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("serial schedule %v incorrect for adversary", s)
+				}
+			}
+			// (iii) h is incorrect.
+			ok, err := core.ScheduleCorrect(adv, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Errorf("format %v: adversary fails to break non-serial %v", format, h)
+			}
+			return true
+		})
+	}
+}
+
+func TestTheorem2AdversaryRejectsIllegal(t *testing.T) {
+	if _, err := BuildTheorem2Adversary([]int{2, 1}, core.Schedule{{Tx: 0, Idx: 1}}); err == nil {
+		t.Error("illegal schedule accepted")
+	}
+}
+
+func TestInterleavePattern(t *testing.T) {
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	a, b, c, ok := interleavePattern(h)
+	if !ok || a != 0 || b != 1 || c != 2 {
+		t.Errorf("pattern = (%d,%d,%d,%v)", a, b, c, ok)
+	}
+	serial := core.Schedule{{Tx: 1, Idx: 0}, {Tx: 0, Idx: 0}, {Tx: 0, Idx: 1}}
+	if _, _, _, ok := interleavePattern(serial); ok {
+		t.Error("pattern found in serial schedule")
+	}
+}
+
+// Theorem 3, mechanized: for the Figure-1 syntax the Herbrand adversary T'
+// satisfies C(T') ∩ H = SR(T) — i.e. h passes the adversary iff h is
+// Herbrand-serializable.
+func TestHerbrandAdversaryCharacterizesSR(t *testing.T) {
+	syntaxes := []*core.System{
+		(&core.System{
+			Name: "figure1-syntax",
+			Txs: []core.Transaction{
+				{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "x", Kind: core.Update}}},
+				{Steps: []core.Step{{Var: "x", Kind: core.Update}}},
+			},
+		}).Normalize(),
+		(&core.System{
+			Name: "rw-pair",
+			Txs: []core.Transaction{
+				{Steps: []core.Step{{Var: "x", Kind: core.Read}, {Var: "y", Kind: core.Write}}},
+				{Steps: []core.Step{{Var: "y", Kind: core.Read}, {Var: "x", Kind: core.Write}}},
+			},
+		}).Normalize(),
+	}
+	for _, sys := range syntaxes {
+		adv, err := NewHerbrandAdversary(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker, err := herbrand.NewChecker(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+			sr, _, err := checker.Serializable(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pass, err := adv.Correct(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sr != pass {
+				t.Errorf("system %s, h=%v: SR=%v but adversary-correct=%v", sys.Name, h, sr, pass)
+			}
+			return true
+		})
+		if adv.ReachableStates() == 0 {
+			t.Error("no reachable states enumerated")
+		}
+	}
+}
+
+func TestHerbrandAdversaryRejectsIllegal(t *testing.T) {
+	sys := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Update}}}},
+	}).Normalize()
+	adv, err := NewHerbrandAdversary(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Correct(core.Schedule{{Tx: 0, Idx: 5}}); err == nil {
+		t.Error("illegal schedule evaluated")
+	}
+}

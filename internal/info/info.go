@@ -1,0 +1,174 @@
+// Package info models the information available to a scheduler (Section 3
+// of Kung & Papadimitriou 1979) and realizes the optimal scheduler for each
+// of the paper's information levels.
+//
+// A level of information about a transaction system T is a set I ∋ T of
+// transaction systems the scheduler cannot distinguish. Theorem 1 bounds
+// any correct scheduler's fixpoint set by P ⊆ ∩_{T'∈I} C(T'); the scheduler
+// attaining equality is optimal for I. The paper works out four levels:
+//
+//	Minimum     — format only            — optimal P = serial schedules (Thm 2)
+//	Syntactic   — complete syntax        — optimal P = SR(T)            (Thm 3)
+//	SemanticNoIC— all but the IC         — optimal P = WSR(T)           (Thm 4)
+//	Maximum     — everything             — optimal P = C(T)
+//
+// The package also provides the adversary constructions used in the proofs:
+// the increment/double/decrement system of Theorem 2 and the
+// Herbrand-integrity-constraint system of Theorem 3.
+package info
+
+import (
+	"fmt"
+
+	"optcc/internal/core"
+	"optcc/internal/herbrand"
+	"optcc/internal/wsr"
+)
+
+// Level enumerates the paper's information levels, ordered by increasing
+// information (decreasing size of I).
+type Level int
+
+const (
+	// Minimum information: the scheduler knows only the format (m1..mn).
+	Minimum Level = iota
+	// Syntactic information: the scheduler knows the full syntax (which
+	// variable each step accesses and whether it reads or writes), but no
+	// interpretations and no integrity constraints.
+	Syntactic
+	// SemanticNoIC: syntax plus the interpretations of all function
+	// symbols, but not the integrity constraints.
+	SemanticNoIC
+	// Maximum information: the scheduler knows the system completely;
+	// I = {T}.
+	Maximum
+)
+
+// String names the level as in the paper.
+func (l Level) String() string {
+	switch l {
+	case Minimum:
+		return "minimum"
+	case Syntactic:
+		return "syntactic"
+	case SemanticNoIC:
+		return "semantic-no-ic"
+	case Maximum:
+		return "maximum"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Levels lists all levels in increasing-information order.
+func Levels() []Level { return []Level{Minimum, Syntactic, SemanticNoIC, Maximum} }
+
+// Oracle is the optimal scheduler for a system at a given information
+// level: its fixpoint set P is exactly the set the corresponding theorem
+// proves maximal, and Apply realizes the mapping S : H → C(T).
+type Oracle struct {
+	sys   *core.System
+	level Level
+	herb  *herbrand.Checker
+	weak  *wsr.Checker
+}
+
+// NewOracle builds the optimal scheduler for the system at the level.
+// Levels above Syntactic require an executable system; Maximum additionally
+// uses the system's integrity constraints.
+func NewOracle(sys *core.System, level Level) (*Oracle, error) {
+	o := &Oracle{sys: sys, level: level}
+	var err error
+	switch level {
+	case Minimum:
+	case Syntactic:
+		o.herb, err = herbrand.NewChecker(sys)
+	case SemanticNoIC:
+		o.weak, err = wsr.NewChecker(sys, wsr.Options{})
+	case Maximum:
+		if !sys.Executable() {
+			err = fmt.Errorf("info: maximum-information oracle needs an executable system")
+		}
+	default:
+		err = fmt.Errorf("info: unknown level %v", level)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Level returns the oracle's information level.
+func (o *Oracle) Level() Level { return o.level }
+
+// InFixpoint reports whether h belongs to the oracle's fixpoint set P:
+// serial schedules for Minimum, SR(T) for Syntactic, WSR(T) for
+// SemanticNoIC, C(T) for Maximum.
+func (o *Oracle) InFixpoint(h core.Schedule) (bool, error) {
+	if !h.Legal(o.sys.Format()) {
+		return false, fmt.Errorf("info: schedule %v not legal for format %v", h, o.sys.Format())
+	}
+	switch o.level {
+	case Minimum:
+		return h.IsSerial(), nil
+	case Syntactic:
+		ok, _, err := o.herb.Serializable(h)
+		return ok, err
+	case SemanticNoIC:
+		ok, _, err := o.weak.Weak(h)
+		return ok, err
+	case Maximum:
+		return core.ScheduleCorrect(o.sys, h)
+	}
+	return false, fmt.Errorf("info: unknown level %v", o.level)
+}
+
+// Apply realizes the scheduler mapping S : H → C(T): schedules in the
+// fixpoint pass unchanged; anything else is rearranged into the serial
+// schedule that orders transactions by first appearance in h (serial
+// schedules are correct by the paper's basic assumption).
+func (o *Oracle) Apply(h core.Schedule) (core.Schedule, error) {
+	ok, err := o.InFixpoint(h)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return h, nil
+	}
+	return SerializeByFirstArrival(o.sys.Format(), h), nil
+}
+
+// SerializeByFirstArrival returns the serial schedule executing
+// transactions in order of their first step's appearance in h; transactions
+// absent from h follow in index order.
+func SerializeByFirstArrival(format []int, h core.Schedule) core.Schedule {
+	var order []int
+	seen := make([]bool, len(format))
+	for _, id := range h {
+		if !seen[id.Tx] {
+			seen[id.Tx] = true
+			order = append(order, id.Tx)
+		}
+	}
+	for i := range format {
+		if !seen[i] {
+			order = append(order, i)
+		}
+	}
+	return core.SerialSchedule(format, order)
+}
+
+// IntersectionCorrect reports whether h ∈ ∩_{T'∈systems} C(T'): the
+// Theorem 1 bound for a finite family of indistinguishable systems.
+func IntersectionCorrect(systems []*core.System, h core.Schedule) (bool, error) {
+	for _, sys := range systems {
+		ok, err := core.ScheduleCorrect(sys, h)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,204 @@
+package info
+
+import (
+	"testing"
+
+	"optcc/internal/core"
+	"optcc/internal/schedule"
+)
+
+// figure1 returns the interpreted Figure 1 system with the integrity
+// constraint x ≥ 0 probed from x ∈ {0, 1, 2}.
+func figure1() *core.System {
+	last := func(l []core.Value) core.Value { return l[len(l)-1] }
+	return (&core.System{
+		Name: "figure1",
+		Txs: []core.Transaction{
+			{Name: "T1", Steps: []core.Step{
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return 2 * last(l) }},
+			}},
+			{Name: "T2", Steps: []core.Step{
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+			}},
+		},
+		IC: &core.IC{
+			Name:     "x>=0",
+			Check:    func(db core.DB) bool { return db["x"] >= 0 },
+			Initials: func() []core.DB { return []core.DB{{"x": 0}, {"x": 1}, {"x": 2}} },
+		},
+	}).Normalize()
+}
+
+func TestLevelStrings(t *testing.T) {
+	names := map[Level]string{
+		Minimum: "minimum", Syntactic: "syntactic",
+		SemanticNoIC: "semantic-no-ic", Maximum: "maximum",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("level %d = %q, want %q", int(l), l.String(), want)
+		}
+	}
+	if Level(99).String() == "" {
+		t.Error("unknown level renders empty")
+	}
+	if len(Levels()) != 4 {
+		t.Error("Levels() should list 4 levels")
+	}
+}
+
+// The fundamental trade-off: fixpoint sets are nested along the information
+// order. On Figure 1: Minimum ⊆ Syntactic ⊆ SemanticNoIC ⊆ Maximum, with
+// strict growth from Minimum to SemanticNoIC.
+func TestFixpointHierarchy(t *testing.T) {
+	sys := figure1()
+	oracles := map[Level]*Oracle{}
+	for _, l := range Levels() {
+		o, err := NewOracle(sys, l)
+		if err != nil {
+			t.Fatalf("level %v: %v", l, err)
+		}
+		oracles[l] = o
+	}
+	counts := map[Level]int{}
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		prev := true
+		for _, l := range Levels() {
+			in, err := oracles[l].InFixpoint(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in {
+				counts[l]++
+			}
+			if !prev && in {
+				// A schedule in a lower-information fixpoint must be in all
+				// higher ones.
+				_ = prev
+			}
+			if l > Minimum {
+				lower, _ := oracles[l-1].InFixpoint(h)
+				if lower && !in {
+					t.Errorf("%v in %v fixpoint but not %v", h, l-1, l)
+				}
+			}
+			prev = in
+		}
+		return true
+	})
+	if !(counts[Minimum] < counts[Syntactic] || counts[Minimum] < counts[SemanticNoIC]) {
+		t.Errorf("no strict growth: %v", counts)
+	}
+	if counts[Minimum] != 2 {
+		t.Errorf("serial fixpoint = %d, want 2", counts[Minimum])
+	}
+	if counts[SemanticNoIC] != 3 {
+		t.Errorf("WSR fixpoint = %d, want 3 (all schedules of Figure 1)", counts[SemanticNoIC])
+	}
+}
+
+func TestOracleApplyProducesCorrectSchedules(t *testing.T) {
+	sys := figure1()
+	for _, l := range Levels() {
+		o, err := NewOracle(sys, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+			out, err := o.Apply(h.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := core.ScheduleCorrect(sys, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("level %v: S(%v) = %v is incorrect", l, h, out)
+			}
+			in, err := o.InFixpoint(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in && !out.Equal(h) {
+				t.Errorf("level %v: fixpoint schedule %v was rearranged to %v", l, h, out)
+			}
+			return true
+		})
+	}
+}
+
+func TestSerializeByFirstArrival(t *testing.T) {
+	format := []int{2, 1, 1}
+	h := core.Schedule{{Tx: 1, Idx: 0}, {Tx: 0, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 2, Idx: 0}}
+	s := SerializeByFirstArrival(format, h)
+	want := core.Schedule{{Tx: 1, Idx: 0}, {Tx: 0, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 2, Idx: 0}}
+	if !s.Equal(want) {
+		t.Errorf("serialized = %v, want %v", s, want)
+	}
+	if !s.IsSerial() || !s.Legal(format) {
+		t.Error("result not a legal serial schedule")
+	}
+	// Transactions missing from the prefix follow in index order.
+	partial := core.Schedule{{Tx: 2, Idx: 0}}
+	s2 := SerializeByFirstArrival(format, partial)
+	order, _ := s2.SerialOrder()
+	if len(order) != 3 || order[0] != 2 || order[1] != 0 || order[2] != 1 {
+		t.Errorf("order = %v, want [2 0 1]", order)
+	}
+}
+
+func TestOracleRejectsIllegalSchedules(t *testing.T) {
+	o, err := NewOracle(figure1(), Minimum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.InFixpoint(core.Schedule{{Tx: 0, Idx: 1}}); err == nil {
+		t.Error("illegal schedule accepted")
+	}
+}
+
+func TestNewOracleErrors(t *testing.T) {
+	syntactic := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Update}}}},
+	}).Normalize()
+	if _, err := NewOracle(syntactic, SemanticNoIC); err == nil {
+		t.Error("WSR oracle built for uninterpreted system")
+	}
+	if _, err := NewOracle(syntactic, Maximum); err == nil {
+		t.Error("maximum oracle built for uninterpreted system")
+	}
+	if _, err := NewOracle(syntactic, Level(42)); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewOracle(syntactic, Syntactic); err != nil {
+		t.Errorf("syntactic oracle should not need interpretations: %v", err)
+	}
+}
+
+func TestIntersectionCorrect(t *testing.T) {
+	sys := figure1()
+	systems := []*core.System{sys}
+	h := core.SerialSchedule(sys.Format(), []int{0, 1})
+	ok, err := IntersectionCorrect(systems, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("serial schedule rejected by intersection")
+	}
+	// Add an adversary: now only schedules correct for both pass.
+	adv, err := BuildTheorem2Adversary(sys.Format(), core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	ok, err = IntersectionCorrect([]*core.System{sys, adv}, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("adversary-breaking schedule passed the intersection")
+	}
+}

@@ -1,0 +1,12 @@
+package integration_test
+
+import (
+	"optcc/internal/geometry"
+	"optcc/internal/locking"
+)
+
+// geometryNewSpace builds the progress space of the first two transactions
+// of a locked system.
+func geometryNewSpace(ls *locking.System) (*geometry.Space, error) {
+	return geometry.NewSpace(ls, 0, 1)
+}

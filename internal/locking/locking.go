@@ -1,0 +1,252 @@
+// Package locking implements Section 5 of Kung & Papadimitriou 1979:
+// locking policies as transaction-system transformers, locked transaction
+// systems, and the lock-respecting scheduler (LRS).
+//
+// A locking policy L maps an ordinary transaction system T to a locked
+// system L(T): the same data steps with well-nested "lock X" / "unlock X"
+// steps inserted over a set LV of locking variables. Lock steps have the
+// fixed interpretation
+//
+//	lock X:   X ← if X = 0 then 1 else −1
+//	unlock X: X ← if X = 1 then 0 else −1
+//
+// and the integrity constraints of L(T) assert only that every locking
+// variable is 0. All the cleverness lives in the policy; L(T) is then
+// entrusted to the very simple lock-respecting scheduler, which sees only
+// the lock/unlock steps and delays a transaction whose lock request would
+// error. LRS is optimal for that level of information.
+//
+// The package provides the two-phase policy 2PL of [Eswaran et al. 76]
+// (Figure 2), the paper's strictly better separable variant 2PL′ (Section
+// 5.4, Figure 5), a non-separable selective 2PL that skips variables
+// accessed by a single transaction, and machinery to enumerate the set of
+// data schedules a locked system can emit — the policy's performance in the
+// sense of Section 5.2.
+package locking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"optcc/internal/core"
+)
+
+// OpKind distinguishes the three kinds of operations in a locked
+// transaction.
+type OpKind int
+
+const (
+	// OpLock is a "lock X" step.
+	OpLock OpKind = iota
+	// OpUnlock is an "unlock X" step.
+	OpUnlock
+	// OpStep is an original data step of the base system.
+	OpStep
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpLock:
+		return "lock"
+	case OpUnlock:
+		return "unlock"
+	case OpStep:
+		return "step"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one operation of a locked transaction.
+type Op struct {
+	Kind OpKind
+	// LV names the locking variable for OpLock/OpUnlock.
+	LV string
+	// Step identifies the base-system step for OpStep.
+	Step core.StepID
+}
+
+// String renders the op as in the paper's figures.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLock:
+		return "lock " + o.LV
+	case OpUnlock:
+		return "unlock " + o.LV
+	default:
+		return o.Step.String()
+	}
+}
+
+// LockVarFor derives the display name of the locking variable guarding a
+// data variable: single-letter variables follow the paper ("x" → "X"),
+// anything else is suffixed.
+func LockVarFor(v core.Var) string {
+	s := string(v)
+	if len(s) == 1 && s[0] >= 'a' && s[0] <= 'z' {
+		return strings.ToUpper(s)
+	}
+	return s + ".lk"
+}
+
+// Tx is a locked transaction: the ops of one base transaction with lock
+// steps inserted.
+type Tx struct {
+	Name string
+	Ops  []Op
+}
+
+// Len returns the number of ops.
+func (t *Tx) Len() int { return len(t.Ops) }
+
+// String renders one op per line, indentation matching the figures.
+func (t *Tx) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", t.Name)
+	for _, op := range t.Ops {
+		fmt.Fprintf(&b, "  %s\n", op)
+	}
+	return b.String()
+}
+
+// System is a locked transaction system L(T).
+type System struct {
+	// Base is the original system T.
+	Base *core.System
+	// Policy names the policy that produced the transformation.
+	Policy string
+	Txs    []Tx
+}
+
+// LockVars returns the sorted set of locking variables used.
+func (s *System) LockVars() []string {
+	seen := map[string]bool{}
+	for i := range s.Txs {
+		for _, op := range s.Txs[i].Ops {
+			if op.Kind != OpStep {
+				seen[op.LV] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for lv := range seen {
+		out = append(out, lv)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural invariants of a locked system: every data
+// step of the base appears exactly once and in order; lock/unlock steps are
+// well-nested per transaction (each lock later unlocked, no unlock without
+// a lock, no re-lock while held).
+func (s *System) Validate() error {
+	format := s.Base.Format()
+	if len(s.Txs) != len(format) {
+		return fmt.Errorf("locked system has %d transactions, base has %d", len(s.Txs), len(format))
+	}
+	for i := range s.Txs {
+		next := 0
+		held := map[string]bool{}
+		for _, op := range s.Txs[i].Ops {
+			switch op.Kind {
+			case OpStep:
+				if op.Step.Tx != i || op.Step.Idx != next {
+					return fmt.Errorf("tx %d: data step %v out of order (want index %d)", i, op.Step, next)
+				}
+				next++
+			case OpLock:
+				if held[op.LV] {
+					return fmt.Errorf("tx %d: lock %s while held", i, op.LV)
+				}
+				held[op.LV] = true
+			case OpUnlock:
+				if !held[op.LV] {
+					return fmt.Errorf("tx %d: unlock %s while not held", i, op.LV)
+				}
+				delete(held, op.LV)
+			}
+		}
+		if next != format[i] {
+			return fmt.Errorf("tx %d: %d of %d data steps present", i, next, format[i])
+		}
+		if len(held) != 0 {
+			return fmt.Errorf("tx %d: locks held at end: %v", i, held)
+		}
+	}
+	return nil
+}
+
+// TwoPhase reports whether every transaction is two-phase: no lock op after
+// the first unlock op.
+func (s *System) TwoPhase() bool {
+	for i := range s.Txs {
+		unlocked := false
+		for _, op := range s.Txs[i].Ops {
+			switch op.Kind {
+			case OpUnlock:
+				unlocked = true
+			case OpLock:
+				if unlocked {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// WellFormed reports whether every data step on v executes while the
+// transaction holds the primary locking variable LockVarFor(v).
+func (s *System) WellFormed() bool {
+	for i := range s.Txs {
+		held := map[string]bool{}
+		for _, op := range s.Txs[i].Ops {
+			switch op.Kind {
+			case OpLock:
+				held[op.LV] = true
+			case OpUnlock:
+				delete(held, op.LV)
+			case OpStep:
+				v := s.Base.Step(op.Step).Var
+				if !held[LockVarFor(v)] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// LockSpan returns, for transaction tx, the half-open op-index interval
+// [lock, unlock) during which each locking variable is held. Every lock
+// variable locked at most once per transaction is assumed (true for the
+// policies here except 2PL′'s auxiliary variable, for which the spans are
+// returned as a slice).
+func (s *System) LockSpans(tx int) map[string][][2]int {
+	out := map[string][][2]int{}
+	open := map[string]int{}
+	for pos, op := range s.Txs[tx].Ops {
+		switch op.Kind {
+		case OpLock:
+			open[op.LV] = pos
+		case OpUnlock:
+			out[op.LV] = append(out[op.LV], [2]int{open[op.LV], pos})
+			delete(open, op.LV)
+		}
+	}
+	return out
+}
+
+// Policy transforms transaction systems into locked systems.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Separable reports whether the policy transforms each transaction
+	// independently of the others (Section 5.4).
+	Separable() bool
+	// Transform produces the locked system.
+	Transform(sys *core.System) (*System, error)
+}

@@ -1,0 +1,256 @@
+package locking
+
+import (
+	"strings"
+	"testing"
+
+	"optcc/internal/core"
+)
+
+// figure2Tx is the transaction of Figure 2(a): steps on x, y, x, z.
+func figure2Tx() *core.System {
+	return (&core.System{
+		Name: "figure2",
+		Txs: []core.Transaction{
+			{Name: "Ti", Steps: []core.Step{
+				{Var: "x", Kind: core.Update},
+				{Var: "y", Kind: core.Update},
+				{Var: "x", Kind: core.Update},
+				{Var: "z", Kind: core.Update},
+			}},
+		},
+	}).Normalize()
+}
+
+func opsAsStrings(tx Tx) []string {
+	out := make([]string, len(tx.Ops))
+	for i, op := range tx.Ops {
+		out[i] = op.String()
+	}
+	return out
+}
+
+// Figure 2(b): the canonical 2PL transformation.
+func TestFigure2TwoPhaseTransformation(t *testing.T) {
+	ls, err := TwoPhase{}.Transform(figure2Tx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"lock X",
+		"T11",
+		"lock Y",
+		"T12",
+		"T13",
+		"lock Z",
+		"unlock X",
+		"unlock Y",
+		"T14",
+		"unlock Z",
+	}
+	got := opsAsStrings(ls.Txs[0])
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("2PL ops:\n got %v\nwant %v", got, want)
+	}
+	if !ls.TwoPhase() {
+		t.Error("2PL transformation not two-phase")
+	}
+	if !ls.WellFormed() {
+		t.Error("2PL transformation not well-formed")
+	}
+	if err := ls.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Figure 5(b): the 2PL′ transformation of the same transaction.
+func TestFigure5TwoPhasePrimeTransformation(t *testing.T) {
+	ls, err := TwoPhasePrime{X: "x"}.Transform(figure2Tx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"lock X",
+		"T11",
+		"lock X'",
+		"unlock X'",
+		"lock Y",
+		"T12",
+		"T13",
+		"lock X'",
+		"unlock X",
+		"lock Z",
+		"unlock Y",
+		"unlock X'",
+		"T14",
+		"unlock Z",
+	}
+	got := opsAsStrings(ls.Txs[0])
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("2PL' ops:\n got %v\nwant %v", got, want)
+	}
+	if ls.TwoPhase() {
+		t.Error("2PL' should NOT be two-phase (unlock X precedes lock Z)")
+	}
+	if !ls.WellFormed() {
+		t.Error("2PL' transformation not well-formed")
+	}
+	if err := ls.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoPhasePrimeWithoutXIsPlain2PL(t *testing.T) {
+	sys := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{
+			{Var: "y", Kind: core.Update},
+			{Var: "z", Kind: core.Update},
+		}}},
+	}).Normalize()
+	prime, err := TwoPhasePrime{X: "x"}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := TwoPhase{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(opsAsStrings(prime.Txs[0]), "|") != strings.Join(opsAsStrings(plain.Txs[0]), "|") {
+		t.Errorf("2PL' differs from 2PL on a transaction not touching x:\n%v\n%v",
+			opsAsStrings(prime.Txs[0]), opsAsStrings(plain.Txs[0]))
+	}
+}
+
+func TestTwoPhasePrimeSingleUseOfX(t *testing.T) {
+	sys := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Update}}}},
+	}).Normalize()
+	ls, err := TwoPhasePrime{X: "x"}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Validate(); err != nil {
+		t.Fatalf("single-use-of-x transformation invalid: %v\nops: %v", err, opsAsStrings(ls.Txs[0]))
+	}
+	if !ls.WellFormed() {
+		t.Errorf("not well-formed: %v", opsAsStrings(ls.Txs[0]))
+	}
+}
+
+func TestSelective2PLSkipsPrivateVariables(t *testing.T) {
+	// x is shared; p and q are private to one transaction each.
+	sys := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "p", Kind: core.Update}}},
+			{Steps: []core.Step{{Var: "q", Kind: core.Update}, {Var: "x", Kind: core.Update}}},
+		},
+	}).Normalize()
+	ls, err := Selective2PL{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lv := range ls.LockVars() {
+		if lv != "X" {
+			t.Errorf("selective 2PL locked %s; only X should be locked", lv)
+		}
+	}
+	if err := ls.Validate(); err != nil {
+		t.Error(err)
+	}
+	if (Selective2PL{}).Separable() {
+		t.Error("selective 2PL claims to be separable")
+	}
+}
+
+func TestNoLockTransform(t *testing.T) {
+	sys := figure2Tx()
+	ls, err := NoLock{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.LockVars()) != 0 {
+		t.Error("no-lock policy inserted locks")
+	}
+	if err := ls.Validate(); err != nil {
+		t.Error(err)
+	}
+	if ls.WellFormed() {
+		t.Error("no-lock system claims well-formedness")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ls, err := TwoPhase{}.Transform(figure2Tx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a data step.
+	bad := *ls
+	bad.Txs = append([]Tx(nil), ls.Txs...)
+	bad.Txs[0].Ops = bad.Txs[0].Ops[:len(bad.Txs[0].Ops)-2]
+	if err := bad.Validate(); err == nil {
+		t.Error("validation passed with missing ops")
+	}
+	// Unlock without lock.
+	bad2 := *ls
+	bad2.Txs = []Tx{{Name: "T", Ops: []Op{{Kind: OpUnlock, LV: "X"}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("unlock-without-lock accepted")
+	}
+	// Double lock.
+	bad3 := *ls
+	bad3.Txs = []Tx{{Name: "T", Ops: []Op{{Kind: OpLock, LV: "X"}, {Kind: OpLock, LV: "X"}}}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("double lock accepted")
+	}
+}
+
+func TestLockVarFor(t *testing.T) {
+	if LockVarFor("x") != "X" {
+		t.Error("single-letter variable")
+	}
+	if LockVarFor("acct") != "acct.lk" {
+		t.Error("multi-letter variable")
+	}
+}
+
+func TestLockSpans(t *testing.T) {
+	ls, err := TwoPhase{}.Transform(figure2Tx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := ls.LockSpans(0)
+	x := spans["X"]
+	if len(x) != 1 || x[0][0] != 0 || x[0][1] != 6 {
+		t.Errorf("span of X = %v, want [[0 6]]", x)
+	}
+	z := spans["Z"]
+	if len(z) != 1 || z[0][0] != 5 || z[0][1] != 9 {
+		t.Errorf("span of Z = %v, want [[5 9]]", z)
+	}
+}
+
+func TestOpAndKindStrings(t *testing.T) {
+	if (Op{Kind: OpLock, LV: "X"}).String() != "lock X" {
+		t.Error("lock op string")
+	}
+	if (Op{Kind: OpUnlock, LV: "X"}).String() != "unlock X" {
+		t.Error("unlock op string")
+	}
+	if (Op{Kind: OpStep, Step: core.StepID{Tx: 0, Idx: 0}}).String() != "T11" {
+		t.Error("step op string")
+	}
+	if OpLock.String() != "lock" || OpUnlock.String() != "unlock" || OpStep.String() != "step" {
+		t.Error("kind strings")
+	}
+	if OpKind(9).String() == "" {
+		t.Error("unknown kind")
+	}
+	ls, _ := TwoPhase{}.Transform(figure2Tx())
+	if !strings.Contains(ls.Txs[0].String(), "lock X") {
+		t.Error("Tx.String missing ops")
+	}
+	if ls.Txs[0].Len() != 10 {
+		t.Errorf("Tx.Len = %d", ls.Txs[0].Len())
+	}
+}

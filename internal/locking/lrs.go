@@ -1,0 +1,243 @@
+package locking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"optcc/internal/core"
+)
+
+// Outputs enumerates the complete data schedules a locked system can emit:
+// the projections (lock/unlock steps removed, Section 5.2) of every
+// execution in which each "lock X" is granted only while X is free. This is
+// both the output set of the lock-respecting scheduler and the performance
+// measure of the policy that produced the system.
+//
+// Executions that deadlock contribute nothing. The enumeration memoizes on
+// the joint op-program-counter vector, so its cost is polynomial in the
+// number of joint states times the size of the answer.
+func Outputs(ls *System) ([]core.Schedule, error) {
+	if err := ls.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ls.Txs)
+	memo := map[string]map[string]core.Schedule{}
+	pc := make([]int, n)
+
+	// The set of held lock variables is a function of the pc vector (each
+	// transaction's holdings depend only on its own prefix), so memoizing
+	// on the pc vector alone is sound.
+	key := func(pc []int) string {
+		var b strings.Builder
+		for _, p := range pc {
+			fmt.Fprintf(&b, "%d,", p)
+		}
+		return b.String()
+	}
+
+	held := map[string]int{} // lock var → holding tx, maintained incrementally
+	var suffixes func() map[string]core.Schedule
+	suffixes = func() map[string]core.Schedule {
+		k := key(pc)
+		if got, ok := memo[k]; ok {
+			return got
+		}
+		out := map[string]core.Schedule{}
+		done := true
+		for i := 0; i < n; i++ {
+			if pc[i] >= len(ls.Txs[i].Ops) {
+				continue
+			}
+			done = false
+			op := ls.Txs[i].Ops[pc[i]]
+			switch op.Kind {
+			case OpLock:
+				if holder, taken := held[op.LV]; taken {
+					_ = holder
+					continue // blocked: LRS delays this transaction
+				}
+				held[op.LV] = i
+				pc[i]++
+				for sk, suf := range suffixes() {
+					out[sk] = suf
+				}
+				pc[i]--
+				delete(held, op.LV)
+			case OpUnlock:
+				prev, had := held[op.LV]
+				delete(held, op.LV)
+				pc[i]++
+				for sk, suf := range suffixes() {
+					out[sk] = suf
+				}
+				pc[i]--
+				if had {
+					held[op.LV] = prev
+				}
+			case OpStep:
+				pc[i]++
+				for _, suf := range suffixes() {
+					ext := append(core.Schedule{op.Step}, suf...)
+					out[ext.Key()] = ext
+				}
+				pc[i]--
+			}
+		}
+		if done {
+			out[""] = core.Schedule{}
+		}
+		memo[k] = out
+		return out
+	}
+	set := suffixes()
+	res := make([]core.Schedule, 0, len(set))
+	for _, h := range set {
+		res = append(res, h)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Key() < res[j].Key() })
+	return res, nil
+}
+
+// OutputSet returns Outputs keyed by Schedule.Key for membership queries.
+func OutputSet(ls *System) (map[string]bool, error) {
+	hs, err := Outputs(ls)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(hs))
+	for _, h := range hs {
+		set[h.Key()] = true
+	}
+	return set, nil
+}
+
+// OpRef identifies one op of a locked system: op Idx of transaction Tx.
+type OpRef struct {
+	Tx, Idx int
+}
+
+// RunResult reports one LRS execution over an arriving op stream.
+type RunResult struct {
+	// Output is the op sequence actually executed, in execution order.
+	Output []Op
+	// Data is the projection of Output to data steps.
+	Data core.Schedule
+	// Delays counts ops that could not execute on arrival.
+	Delays int
+	// Deadlocked lists transactions still blocked when the stream ended.
+	Deadlocked []int
+}
+
+// Run drives the lock-respecting scheduler over an arriving stream of op
+// references (an interleaving of each transaction's op order). Ops execute
+// on arrival when possible; a transaction whose lock request is blocked
+// buffers all its subsequent arrivals until the lock frees. LRS sees only
+// the lock and unlock steps — data steps are always granted.
+func Run(ls *System, arrivals []OpRef) (*RunResult, error) {
+	if err := ls.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ls.Txs)
+	next := make([]int, n)    // next op each transaction is allowed to execute
+	arrived := make([]int, n) // number of ops arrived per transaction
+	held := map[string]int{}
+	res := &RunResult{}
+	blockedOrder := []int{} // FIFO of blocked transactions
+
+	exec := func(i int) bool {
+		// Execute ops of tx i while arrived and not blocked.
+		progressed := false
+		for next[i] < arrived[i] {
+			op := ls.Txs[i].Ops[next[i]]
+			if op.Kind == OpLock {
+				if holder, taken := held[op.LV]; taken && holder != i {
+					return progressed
+				}
+				held[op.LV] = i
+			}
+			if op.Kind == OpUnlock {
+				delete(held, op.LV)
+			}
+			res.Output = append(res.Output, op)
+			if op.Kind == OpStep {
+				res.Data = append(res.Data, op.Step)
+			}
+			next[i]++
+			progressed = true
+		}
+		return progressed
+	}
+
+	for _, ref := range arrivals {
+		if ref.Tx < 0 || ref.Tx >= n {
+			return nil, fmt.Errorf("lrs: arrival for unknown transaction %d", ref.Tx)
+		}
+		if ref.Idx != arrived[ref.Tx] {
+			return nil, fmt.Errorf("lrs: arrival %v out of order (want op %d)", ref, arrived[ref.Tx])
+		}
+		arrived[ref.Tx]++
+		exec(ref.Tx)
+		if next[ref.Tx] < arrived[ref.Tx] {
+			res.Delays++
+			found := false
+			for _, b := range blockedOrder {
+				if b == ref.Tx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				blockedOrder = append(blockedOrder, ref.Tx)
+			}
+		}
+		// Unlocks may have freed blocked transactions; retry FIFO until
+		// quiescent.
+		for {
+			progressed := false
+			remaining := blockedOrder[:0]
+			for _, b := range blockedOrder {
+				exec(b)
+				if next[b] < arrived[b] {
+					remaining = append(remaining, b)
+				} else {
+					progressed = true
+				}
+			}
+			blockedOrder = remaining
+			if !progressed {
+				break
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if next[i] < len(ls.Txs[i].Ops) && next[i] < arrived[i] {
+			res.Deadlocked = append(res.Deadlocked, i)
+		}
+	}
+	return res, nil
+}
+
+// ArrivalsFromOpSchedule converts a complete interleaving of each
+// transaction's ops (given per-transaction in program order) into the
+// OpRef arrival stream for Run.
+func ArrivalsFromOpSchedule(ls *System, order []int) ([]OpRef, error) {
+	counts := make([]int, len(ls.Txs))
+	var out []OpRef
+	for _, tx := range order {
+		if tx < 0 || tx >= len(ls.Txs) {
+			return nil, fmt.Errorf("lrs: transaction %d out of range", tx)
+		}
+		if counts[tx] >= len(ls.Txs[tx].Ops) {
+			return nil, fmt.Errorf("lrs: too many arrivals for transaction %d", tx)
+		}
+		out = append(out, OpRef{Tx: tx, Idx: counts[tx]})
+		counts[tx]++
+	}
+	for i, c := range counts {
+		if c != len(ls.Txs[i].Ops) {
+			return nil, fmt.Errorf("lrs: transaction %d has %d of %d ops in the stream", i, c, len(ls.Txs[i].Ops))
+		}
+	}
+	return out, nil
+}

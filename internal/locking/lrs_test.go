@@ -1,0 +1,421 @@
+package locking
+
+import (
+	"math/rand"
+	"testing"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+	"optcc/internal/schedule"
+)
+
+// pair returns a two-transaction system in which both transactions access
+// x and y (in the given per-transaction variable orders).
+func pair(t1, t2 []core.Var) *core.System {
+	mk := func(vars []core.Var) core.Transaction {
+		steps := make([]core.Step, len(vars))
+		for i, v := range vars {
+			steps[i] = core.Step{Var: v, Kind: core.Update}
+		}
+		return core.Transaction{Steps: steps}
+	}
+	return (&core.System{
+		Name: "pair",
+		Txs:  []core.Transaction{mk(t1), mk(t2)},
+	}).Normalize()
+}
+
+func TestNoLockOutputsAllOfH(t *testing.T) {
+	sys := pair([]core.Var{"x", "y"}, []core.Var{"y", "x"})
+	ls, err := NoLock{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := Outputs(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 6 {
+		t.Errorf("no-lock outputs %d schedules, want |H| = 6", len(outs))
+	}
+}
+
+// Every output of a 2PL-locked system is conflict-serializable.
+func TestTwoPhaseOutputsAreSerializable(t *testing.T) {
+	for _, sys := range []*core.System{
+		pair([]core.Var{"x", "y"}, []core.Var{"y", "x"}),
+		pair([]core.Var{"x", "y"}, []core.Var{"x", "y"}),
+		pair([]core.Var{"x", "x"}, []core.Var{"x"}),
+	} {
+		ls, err := TwoPhase{}.Transform(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := Outputs(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) == 0 {
+			t.Fatal("2PL emitted no schedules")
+		}
+		for _, h := range outs {
+			if !h.Legal(sys.Format()) {
+				t.Errorf("output %v illegal", h)
+			}
+			csr, _, err := conflict.Serializable(sys, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !csr {
+				t.Errorf("2PL output %v is not conflict-serializable", h)
+			}
+		}
+	}
+}
+
+// Section 5.4: 2PL′ is strictly better than 2PL — its output set strictly
+// contains 2PL's on a suitable system. With two transactions the geometric
+// argument makes 2PL already maximal, so the gap needs three: T1 = (x, y),
+// T2 = (x), T3 = (y). Under 2PL, T1 releases X only at its lock point
+// (after lock Y), so the CSR schedule (T11, T21, T31, T12) is blocked;
+// under 2PL′, X is released right after T1's last use of x and Y is locked
+// as late as possible, so T2 and T3 both slip in.
+func TestTwoPhasePrimeStrictlyBeatsTwoPhase(t *testing.T) {
+	mk := func(vars ...core.Var) core.Transaction {
+		steps := make([]core.Step, len(vars))
+		for i, v := range vars {
+			steps[i] = core.Step{Var: v, Kind: core.Update}
+		}
+		return core.Transaction{Steps: steps}
+	}
+	sys := (&core.System{
+		Name: "prime-gap",
+		Txs:  []core.Transaction{mk("x", "y"), mk("x"), mk("y")},
+	}).Normalize()
+	plain, err := TwoPhase{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime, err := TwoPhasePrime{X: "x"}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSet, err := OutputSet(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primeSet, err := OutputSet(prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plainSet {
+		if !primeSet[k] {
+			t.Errorf("2PL output %s missing from 2PL'", k)
+		}
+	}
+	if len(primeSet) <= len(plainSet) {
+		t.Errorf("2PL' outputs %d, 2PL outputs %d; want strict improvement", len(primeSet), len(plainSet))
+	}
+	gap := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 2, Idx: 0}, {Tx: 0, Idx: 1}}
+	if plainSet[gap.Key()] {
+		t.Errorf("2PL unexpectedly achieves %v", gap)
+	}
+	if !primeSet[gap.Key()] {
+		t.Errorf("2PL' fails to achieve %v", gap)
+	}
+	// 2PL' outputs must still be correct, i.e. conflict-serializable here.
+	outs, err := Outputs(prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range outs {
+		csr, _, err := conflict.Serializable(sys, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !csr {
+			t.Errorf("2PL' output %v not conflict-serializable", h)
+		}
+	}
+}
+
+// Regression: on the cross system (T1 = x,y; T2 = y,x) a 2PL′ that locked
+// X lazily emitted the non-serializable (T11, T21, T12, T22). With lock X
+// held from transaction start (as in Figure 5) every output must be CSR.
+func TestTwoPhasePrimeCorrectOnCross(t *testing.T) {
+	sys := pair([]core.Var{"x", "y"}, []core.Var{"y", "x"})
+	ls, err := TwoPhasePrime{X: "x"}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := Outputs(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range outs {
+		csr, _, err := conflict.Serializable(sys, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !csr {
+			t.Errorf("2PL' emitted non-serializable %v on cross", h)
+		}
+	}
+}
+
+// Selective 2PL beats 2PL when a private variable's lock drags another
+// variable's unlock past the lock point: T1 = (y, x, p) with p private and
+// last, T2 = (y). Under 2PL, Y is released only after lock P (after T12);
+// under selective 2PL, p is never locked, so Y frees before T12 and
+// (T11, T21, T12, T13) becomes achievable.
+func TestSelectiveBeats2PLOnPrivateVariables(t *testing.T) {
+	sys := pair([]core.Var{"y", "x", "p"}, []core.Var{"y"})
+	plain, _ := TwoPhase{}.Transform(sys)
+	sel, _ := Selective2PL{}.Transform(sys)
+	plainSet, err := OutputSet(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selSet, err := OutputSet(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plainSet {
+		if !selSet[k] {
+			t.Errorf("2PL output %s missing from selective", k)
+		}
+	}
+	if len(selSet) <= len(plainSet) {
+		t.Errorf("selective outputs %d vs 2PL %d; want strict improvement", len(selSet), len(plainSet))
+	}
+	gap := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 0, Idx: 2}}
+	if plainSet[gap.Key()] {
+		t.Errorf("2PL unexpectedly achieves %v", gap)
+	}
+	if !selSet[gap.Key()] {
+		t.Errorf("selective 2PL fails to achieve %v", gap)
+	}
+}
+
+// The memoryless/oblivious character of locking (Figure 4(a)): the output
+// set of any locking policy is closed under exchanging history prefixes
+// that lead to the same joint progress point. We verify the concrete
+// consequence used in the paper: the serial schedules are always outputs.
+func TestSerialSchedulesAlwaysAchievable(t *testing.T) {
+	sys := pair([]core.Var{"x", "y"}, []core.Var{"y", "x"})
+	for _, p := range []Policy{TwoPhase{}, TwoPhasePrime{X: "x"}, Selective2PL{}, NoLock{}} {
+		ls, err := p.Transform(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := OutputSet(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range schedule.Serials(sys.Format()) {
+			if !set[s.Key()] {
+				t.Errorf("policy %s cannot emit serial schedule %v", p.Name(), s)
+			}
+		}
+	}
+}
+
+// Safety sweep: on a family of random small systems, every output of every
+// correct policy is conflict-serializable.
+func TestPolicyOutputsAlwaysSerializable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	vars := []core.Var{"x", "y", "z"}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(2)
+		txs := make([]core.Transaction, n)
+		for i := range txs {
+			m := 1 + rng.Intn(2)
+			steps := make([]core.Step, m)
+			for j := range steps {
+				steps[j] = core.Step{Var: vars[rng.Intn(len(vars))], Kind: core.Update}
+			}
+			txs[i] = core.Transaction{Steps: steps}
+		}
+		sys := (&core.System{Name: "rand", Txs: txs}).Normalize()
+		for _, p := range []Policy{TwoPhase{}, TwoPhasePrime{X: "x"}, Selective2PL{}} {
+			ls, err := p.Transform(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ls.Validate(); err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, p.Name(), err)
+			}
+			outs, err := Outputs(ls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range outs {
+				csr, _, err := conflict.Serializable(sys, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !csr {
+					t.Fatalf("trial %d: %s emitted non-serializable %v for system\n%s",
+						trial, p.Name(), h, sys)
+				}
+			}
+		}
+	}
+}
+
+func TestRunUndelayedOnCompatibleStream(t *testing.T) {
+	sys := pair([]core.Var{"x"}, []core.Var{"x"})
+	ls, err := TwoPhase{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial arrival: T1's three ops (lock, step, unlock) then T2's.
+	arr, err := ArrivalsFromOpSchedule(ls, []int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ls, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delays != 0 {
+		t.Errorf("serial stream delayed %d times", res.Delays)
+	}
+	if len(res.Deadlocked) != 0 {
+		t.Errorf("deadlocked: %v", res.Deadlocked)
+	}
+	want := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}}
+	if !res.Data.Equal(want) {
+		t.Errorf("data schedule = %v, want %v", res.Data, want)
+	}
+}
+
+func TestRunDelaysConflictingStream(t *testing.T) {
+	sys := pair([]core.Var{"x"}, []core.Var{"x"})
+	ls, err := TwoPhase{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 locks x, then T2 tries to lock x: delayed until T1 unlocks.
+	arr, err := ArrivalsFromOpSchedule(ls, []int{0, 1, 1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ls, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delays == 0 {
+		t.Error("conflicting stream not delayed")
+	}
+	if len(res.Deadlocked) != 0 {
+		t.Errorf("deadlocked: %v", res.Deadlocked)
+	}
+	// Output data schedule is serial T1 then T2.
+	want := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}}
+	if !res.Data.Equal(want) {
+		t.Errorf("data schedule = %v, want %v", res.Data, want)
+	}
+}
+
+func TestRunDetectsDeadlock(t *testing.T) {
+	// Opposite lock orders: T1 locks X then wants Y; T2 locks Y then wants
+	// X. With 2PL (lock as late as possible) T1's ops are
+	// lock X, T11, lock Y, T12, unlock..., so interleaving the first two
+	// ops of each transaction deadlocks.
+	sys := pair([]core.Var{"x", "y"}, []core.Var{"y", "x"})
+	ls, err := TwoPhase{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1: lock X, T11, lock Y, ...; T2: lock Y, T21, lock X, ... — each
+	// grabs its first lock, then each requests the other's.
+	order := []int{0, 1, 0, 1, 0, 1, 0, 0, 0, 1, 1, 1}
+	arr, err := ArrivalsFromOpSchedule(ls, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ls, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deadlocked) != 2 {
+		t.Errorf("deadlocked = %v, want both transactions", res.Deadlocked)
+	}
+}
+
+func TestRunRejectsMalformedStreams(t *testing.T) {
+	sys := pair([]core.Var{"x"}, []core.Var{"x"})
+	ls, _ := TwoPhase{}.Transform(sys)
+	if _, err := Run(ls, []OpRef{{Tx: 9, Idx: 0}}); err == nil {
+		t.Error("unknown transaction accepted")
+	}
+	if _, err := Run(ls, []OpRef{{Tx: 0, Idx: 2}}); err == nil {
+		t.Error("out-of-order arrival accepted")
+	}
+	if _, err := ArrivalsFromOpSchedule(ls, []int{0}); err == nil {
+		t.Error("incomplete op schedule accepted")
+	}
+	if _, err := ArrivalsFromOpSchedule(ls, []int{0, 0, 0, 0}); err == nil {
+		t.Error("overlong op schedule accepted")
+	}
+	if _, err := ArrivalsFromOpSchedule(ls, []int{5}); err == nil {
+		t.Error("out-of-range transaction accepted")
+	}
+}
+
+// The fixpoint characterization: an arrival stream whose op order is an
+// achievable execution passes with zero delays; the data projections of
+// undelayed streams are exactly Outputs(ls).
+func TestRunFixpointMatchesOutputs(t *testing.T) {
+	sys := pair([]core.Var{"x", "y"}, []core.Var{"x", "y"})
+	ls, err := TwoPhase{}.Transform(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSet, err := OutputSet(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate all op-arrival interleavings (choose positions of tx 0's
+	// ops among all ops) and compare undelayed data projections with the
+	// output set.
+	n0, n1 := len(ls.Txs[0].Ops), len(ls.Txs[1].Ops)
+	undelayed := map[string]bool{}
+	var rec func(order []int, a, b int)
+	var orders [][]int
+	rec = func(order []int, a, b int) {
+		if a == n0 && b == n1 {
+			orders = append(orders, append([]int(nil), order...))
+			return
+		}
+		if a < n0 {
+			rec(append(order, 0), a+1, b)
+		}
+		if b < n1 {
+			rec(append(order, 1), a, b+1)
+		}
+	}
+	rec(nil, 0, 0)
+	for _, order := range orders {
+		arr, err := ArrivalsFromOpSchedule(ls, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(ls, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delays == 0 && len(res.Deadlocked) == 0 {
+			undelayed[res.Data.Key()] = true
+			if !outSet[res.Data.Key()] {
+				t.Errorf("undelayed projection %v not in Outputs", res.Data)
+			}
+		}
+	}
+	for k := range outSet {
+		if !undelayed[k] {
+			t.Errorf("output %s never achieved undelayed", k)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package locking
+
+import (
+	"fmt"
+	"sort"
+
+	"optcc/internal/core"
+)
+
+// event is an op with a scheduling position: time orders events around data
+// steps (data step j sits at time 2j+1; the slot before it is 2j, after it
+// 2j+2), pri orders events within a slot.
+type event struct {
+	time, pri int
+	op        Op
+	// la breaks ties among unlocks in one slot: larger la unlocks first,
+	// matching Figure 2(b) (unlock X before unlock Y).
+	la int
+}
+
+func sortEvents(evs []event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].time != evs[j].time {
+			return evs[i].time < evs[j].time
+		}
+		if evs[i].pri != evs[j].pri {
+			return evs[i].pri < evs[j].pri
+		}
+		if evs[i].la != evs[j].la {
+			return evs[i].la > evs[j].la
+		}
+		return evs[i].op.LV < evs[j].op.LV
+	})
+}
+
+// twoPhaseEvents builds the 2PL events for one transaction, locking only
+// the variables accepted by lockable. Locks are as late and unlocks as
+// early as possible subject to the two-phase condition (no lock after the
+// first unlock), exactly the rules of Section 5.2.
+func twoPhaseEvents(txIdx int, steps []core.Step, lockable func(core.Var) bool) []event {
+	fa := map[core.Var]int{}
+	la := map[core.Var]int{}
+	for j, st := range steps {
+		if !lockable(st.Var) {
+			continue
+		}
+		if _, ok := fa[st.Var]; !ok {
+			fa[st.Var] = j
+		}
+		la[st.Var] = j
+	}
+	var evs []event
+	for j := range steps {
+		evs = append(evs, event{time: 2*j + 1, op: Op{Kind: OpStep, Step: core.StepID{Tx: txIdx, Idx: j}}})
+	}
+	if len(fa) == 0 {
+		return evs
+	}
+	faMax := -1
+	for _, j := range fa {
+		if j > faMax {
+			faMax = j
+		}
+	}
+	for v, j := range fa {
+		evs = append(evs, event{time: 2 * j, pri: 0, op: Op{Kind: OpLock, LV: LockVarFor(v)}})
+		// Unlock as early as possible: after the variable's last access,
+		// but never before the transaction's last lock (two-phase).
+		if la[v] < faMax {
+			evs = append(evs, event{time: 2 * faMax, pri: 1, la: la[v], op: Op{Kind: OpUnlock, LV: LockVarFor(v)}})
+		} else {
+			evs = append(evs, event{time: 2 * (la[v] + 1), pri: 1, la: la[v], op: Op{Kind: OpUnlock, LV: LockVarFor(v)}})
+		}
+	}
+	return evs
+}
+
+func opsOf(evs []event) []Op {
+	sortEvents(evs)
+	ops := make([]Op, len(evs))
+	for i, e := range evs {
+		ops[i] = e.op
+	}
+	return ops
+}
+
+// TwoPhase is the two-phase locking policy 2PL of [Eswaran et al. 76]: a
+// locking variable per data variable, lock before first access, unlock
+// after last access, no lock after the first unlock (Figure 2). It is
+// separable and uses only syntactic information.
+type TwoPhase struct{}
+
+// Name implements Policy.
+func (TwoPhase) Name() string { return "2PL" }
+
+// Separable implements Policy.
+func (TwoPhase) Separable() bool { return true }
+
+// Transform implements Policy.
+func (TwoPhase) Transform(sys *core.System) (*System, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	ls := &System{Base: sys, Policy: "2PL"}
+	for i := range sys.Txs {
+		evs := twoPhaseEvents(i, sys.Txs[i].Steps, func(core.Var) bool { return true })
+		ls.Txs = append(ls.Txs, Tx{Name: sys.Txs[i].Name, Ops: opsOf(evs)})
+	}
+	return ls, nil
+}
+
+// TwoPhasePrime is the paper's 2PL′ (Section 5.4, Figure 5): 2PL on every
+// variable except a distinguished one x, whose lock X is held from before
+// x's first usage to just after its last usage, chained through an
+// auxiliary locking variable X′:
+//
+//  1. apply 2PL to all variables except x;
+//  2. after the first usage of x insert the pair lock X′ — unlock X′;
+//  3. after the last usage of x insert lock X′, unlock X;
+//  4. after the last lock step insert unlock X′.
+//
+// 2PL′ is correct, separable, and strictly better than 2PL in performance —
+// but it is not two-phase, and it distinguishes x (so it does not
+// contradict 2PL's optimality on unstructured variables).
+type TwoPhasePrime struct {
+	// X is the distinguished variable.
+	X core.Var
+}
+
+// Name implements Policy.
+func (p TwoPhasePrime) Name() string { return fmt.Sprintf("2PL'(%s)", p.X) }
+
+// Separable implements Policy.
+func (TwoPhasePrime) Separable() bool { return true }
+
+// Transform implements Policy.
+func (p TwoPhasePrime) Transform(sys *core.System) (*System, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	ls := &System{Base: sys, Policy: p.Name()}
+	lockX := LockVarFor(p.X)
+	aux := lockX + "'"
+	for i := range sys.Txs {
+		steps := sys.Txs[i].Steps
+		evs := twoPhaseEvents(i, steps, func(v core.Var) bool { return v != p.X })
+		first, last := -1, -1
+		for j, st := range steps {
+			if st.Var == p.X {
+				if first < 0 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first >= 0 {
+			// lock X at the very start of the transaction, as in Figure 5
+			// (rules 2–4 position only X′ and unlock X; holding X from the
+			// start is what keeps 2PL′ correct when x is used late).
+			evs = append(evs, event{time: 0, pri: -100, op: Op{Kind: OpLock, LV: lockX}})
+			// Rule 3's lock X′ extends the transaction's lock point: the
+			// 2PL unlocks of the other variables must not precede it, or a
+			// peer could slip between an early unlock and the X′
+			// handshake (in Figure 5 the condition holds for free because
+			// z's lock already follows x's last usage).
+			for i := range evs {
+				if evs[i].op.Kind == OpUnlock && evs[i].time < 2*(last+1) {
+					evs[i].time = 2 * (last + 1)
+				}
+			}
+			// Rule 2: lock X′ — unlock X′ immediately after the first usage.
+			evs = append(evs, event{time: 2 * (first + 1), pri: -4, op: Op{Kind: OpLock, LV: aux}})
+			evs = append(evs, event{time: 2 * (first + 1), pri: -3, op: Op{Kind: OpUnlock, LV: aux}})
+			// Rule 3: lock X′, unlock X immediately after the last usage.
+			evs = append(evs, event{time: 2 * (last + 1), pri: -2, op: Op{Kind: OpLock, LV: aux}})
+			evs = append(evs, event{time: 2 * (last + 1), pri: -1, op: Op{Kind: OpUnlock, LV: lockX}})
+			// Rule 4: unlock X′ after the last lock step.
+			sortEvents(evs)
+			lastLock := -1
+			for k, e := range evs {
+				if e.op.Kind == OpLock {
+					lastLock = k
+				}
+			}
+			lastEv := evs[lastLock]
+			evs = append(evs, event{time: lastEv.time, pri: 1000, op: Op{Kind: OpUnlock, LV: aux}})
+		}
+		ls.Txs = append(ls.Txs, Tx{Name: sys.Txs[i].Name, Ops: opsOf(evs)})
+	}
+	return ls, nil
+}
+
+// Selective2PL is the non-separable improvement described in Section 5.4's
+// "trivial reason" counterexample: apply 2PL but skip every variable
+// accessed by only one transaction — such variables need no lock at all.
+// Correct, strictly better than 2PL, but requires global knowledge of all
+// transactions (it is not separable).
+type Selective2PL struct{}
+
+// Name implements Policy.
+func (Selective2PL) Name() string { return "selective-2PL" }
+
+// Separable implements Policy.
+func (Selective2PL) Separable() bool { return false }
+
+// Transform implements Policy.
+func (Selective2PL) Transform(sys *core.System) (*System, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	shared := map[core.Var]bool{}
+	for _, v := range sys.Vars() {
+		shared[v] = len(sys.Accessors(v)) > 1
+	}
+	ls := &System{Base: sys, Policy: "selective-2PL"}
+	for i := range sys.Txs {
+		evs := twoPhaseEvents(i, sys.Txs[i].Steps, func(v core.Var) bool { return shared[v] })
+		ls.Txs = append(ls.Txs, Tx{Name: sys.Txs[i].Name, Ops: opsOf(evs)})
+	}
+	return ls, nil
+}
+
+// NoLock inserts no locks at all: the locked system is the base system.
+// Its output set is all of H — an upper bound useful as a baseline (it is
+// of course incorrect as a concurrency control for most systems).
+type NoLock struct{}
+
+// Name implements Policy.
+func (NoLock) Name() string { return "no-lock" }
+
+// Separable implements Policy.
+func (NoLock) Separable() bool { return true }
+
+// Transform implements Policy.
+func (NoLock) Transform(sys *core.System) (*System, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	ls := &System{Base: sys, Policy: "no-lock"}
+	for i := range sys.Txs {
+		var ops []Op
+		for j := range sys.Txs[i].Steps {
+			ops = append(ops, Op{Kind: OpStep, Step: core.StepID{Tx: i, Idx: j}})
+		}
+		ls.Txs = append(ls.Txs, Tx{Name: sys.Txs[i].Name, Ops: ops})
+	}
+	return ls, nil
+}

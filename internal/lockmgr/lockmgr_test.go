@@ -1,0 +1,319 @@
+package lockmgr
+
+import (
+	"math/rand"
+	"testing"
+
+	"optcc/internal/core"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Register(1)
+	tab.Register(2)
+	if r := tab.Acquire(1, "x", Shared); r.Status != Granted {
+		t.Fatalf("first S: %v", r.Status)
+	}
+	if r := tab.Acquire(2, "x", Shared); r.Status != Granted {
+		t.Fatalf("second S: %v", r.Status)
+	}
+	if err := tab.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveBlocks(t *testing.T) {
+	tab := NewTable(Detect)
+	if r := tab.Acquire(1, "x", Exclusive); r.Status != Granted {
+		t.Fatal("X not granted on free variable")
+	}
+	if r := tab.Acquire(2, "x", Shared); r.Status != Waiting {
+		t.Fatal("S granted while X held")
+	}
+	if r := tab.Acquire(3, "x", Exclusive); r.Status != Waiting {
+		t.Fatal("X granted while X held")
+	}
+	if tab.QueueLen("x") != 2 {
+		t.Fatalf("queue length = %d, want 2", tab.QueueLen("x"))
+	}
+	grants := tab.Release(1, "x")
+	if len(grants) != 1 || grants[0].Tx != 2 || grants[0].Mode != Shared {
+		t.Fatalf("grants after release = %v", grants)
+	}
+	// Tx 3's X still blocked by tx 2's S.
+	if m, ok := tab.Holds(3, "x"); ok {
+		t.Fatalf("tx3 holds %v prematurely", m)
+	}
+	grants = tab.ReleaseAll(2)
+	if len(grants) != 1 || grants[0].Tx != 3 || grants[0].Mode != Exclusive {
+		t.Fatalf("grants after tx2 exit = %v", grants)
+	}
+}
+
+func TestReacquireIsIdempotent(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Acquire(1, "x", Exclusive)
+	if r := tab.Acquire(1, "x", Shared); r.Status != Granted {
+		t.Error("downgrade request while holding X should be granted")
+	}
+	if r := tab.Acquire(1, "x", Exclusive); r.Status != Granted {
+		t.Error("re-acquire X should be granted")
+	}
+	tab2 := NewTable(Detect)
+	tab2.Acquire(1, "x", Shared)
+	if r := tab2.Acquire(1, "x", Shared); r.Status != Granted {
+		t.Error("re-acquire S should be granted")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Acquire(1, "x", Shared)
+	if r := tab.Acquire(1, "x", Exclusive); r.Status != Granted {
+		t.Fatal("upgrade by sole holder not granted")
+	}
+	if m, _ := tab.Holds(1, "x"); m != Exclusive {
+		t.Fatal("mode not upgraded")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Acquire(1, "x", Shared)
+	tab.Acquire(2, "x", Shared)
+	if r := tab.Acquire(1, "x", Exclusive); r.Status != Waiting {
+		t.Fatal("upgrade granted with other readers present")
+	}
+	grants := tab.ReleaseAll(2)
+	if len(grants) != 1 || grants[0].Tx != 1 || grants[0].Mode != Exclusive {
+		t.Fatalf("upgrade not granted after readers left: %v", grants)
+	}
+	if err := tab.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOFairnessNoWriterStarvation(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Acquire(1, "x", Shared)
+	if r := tab.Acquire(2, "x", Exclusive); r.Status != Waiting {
+		t.Fatal("writer should wait")
+	}
+	// A later reader must queue behind the waiting writer.
+	if r := tab.Acquire(3, "x", Shared); r.Status != Waiting {
+		t.Fatal("reader jumped the queue past a waiting writer")
+	}
+	grants := tab.ReleaseAll(1)
+	if len(grants) == 0 || grants[0].Tx != 2 {
+		t.Fatalf("writer not granted first: %v", grants)
+	}
+}
+
+func TestNoWaitAborts(t *testing.T) {
+	tab := NewTable(NoWait)
+	tab.Acquire(1, "x", Exclusive)
+	if r := tab.Acquire(2, "x", Exclusive); r.Status != AbortSelf {
+		t.Fatalf("no-wait returned %v", r.Status)
+	}
+	if tab.QueueLen("x") != 0 {
+		t.Error("no-wait left a queue entry")
+	}
+}
+
+func TestWaitDie(t *testing.T) {
+	tab := NewTable(WaitDie)
+	tab.Register(1) // older
+	tab.Register(2) // younger
+	tab.Acquire(2, "x", Exclusive)
+	// Older requester waits.
+	if r := tab.Acquire(1, "x", Exclusive); r.Status != Waiting {
+		t.Fatalf("older requester: %v", r.Status)
+	}
+	tab2 := NewTable(WaitDie)
+	tab2.Register(1)
+	tab2.Register(2)
+	tab2.Acquire(1, "x", Exclusive)
+	// Younger requester dies.
+	if r := tab2.Acquire(2, "x", Exclusive); r.Status != AbortSelf {
+		t.Fatalf("younger requester: %v", r.Status)
+	}
+}
+
+func TestWoundWait(t *testing.T) {
+	tab := NewTable(WoundWait)
+	tab.Register(1)
+	tab.Register(2)
+	tab.Acquire(2, "x", Exclusive)
+	// Older requester wounds the younger holder and waits.
+	r := tab.Acquire(1, "x", Exclusive)
+	if r.Status != Waiting || len(r.Wounded) != 1 || r.Wounded[0] != 2 {
+		t.Fatalf("wound-wait older requester: %+v", r)
+	}
+	// Caller aborts the victim; the older transaction is then granted.
+	grants := tab.ReleaseAll(2)
+	if len(grants) != 1 || grants[0].Tx != 1 {
+		t.Fatalf("grants after wound: %v", grants)
+	}
+	// Younger requester waits without wounding.
+	tab2 := NewTable(WoundWait)
+	tab2.Register(1)
+	tab2.Register(2)
+	tab2.Acquire(1, "x", Exclusive)
+	r = tab2.Acquire(2, "x", Exclusive)
+	if r.Status != Waiting || len(r.Wounded) != 0 {
+		t.Fatalf("wound-wait younger requester: %+v", r)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Register(1)
+	tab.Register(2)
+	tab.Acquire(1, "x", Exclusive)
+	tab.Acquire(2, "y", Exclusive)
+	tab.Acquire(1, "y", Exclusive) // 1 waits for 2
+	if _, found := tab.DetectDeadlock(); found {
+		t.Fatal("deadlock reported before cycle closed")
+	}
+	tab.Acquire(2, "x", Exclusive) // 2 waits for 1: cycle
+	cycle, found := tab.DetectDeadlock()
+	if !found {
+		t.Fatal("deadlock not detected")
+	}
+	if len(cycle) != 2 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	victim := tab.ChooseVictim(cycle)
+	if victim != 2 {
+		t.Errorf("victim = %d, want youngest (2)", victim)
+	}
+	grants := tab.ReleaseAll(victim)
+	if len(grants) != 1 || grants[0].Tx != 1 || grants[0].Var != core.Var("y") {
+		t.Fatalf("grants after victim abort = %v", grants)
+	}
+	if _, found := tab.DetectDeadlock(); found {
+		t.Error("deadlock persists after victim abort")
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	tab := NewTable(Detect)
+	for tx := TxID(1); tx <= 3; tx++ {
+		tab.Register(tx)
+	}
+	tab.Acquire(1, "a", Exclusive)
+	tab.Acquire(2, "b", Exclusive)
+	tab.Acquire(3, "c", Exclusive)
+	tab.Acquire(1, "b", Exclusive)
+	tab.Acquire(2, "c", Exclusive)
+	tab.Acquire(3, "a", Exclusive)
+	cycle, found := tab.DetectDeadlock()
+	if !found || len(cycle) != 3 {
+		t.Fatalf("cycle = %v, found = %v", cycle, found)
+	}
+	if v := tab.ChooseVictim(cycle); v != 3 {
+		t.Errorf("victim = %d, want 3", v)
+	}
+}
+
+func TestWaitsForGraph(t *testing.T) {
+	tab := NewTable(Detect)
+	tab.Acquire(1, "x", Exclusive)
+	tab.Acquire(2, "x", Shared)
+	tab.Acquire(3, "x", Shared)
+	g := tab.WaitsFor()
+	if len(g[2]) != 1 || g[2][0] != 1 {
+		t.Errorf("waits-for of 2 = %v", g[2])
+	}
+	if len(g[3]) != 1 || g[3][0] != 1 {
+		t.Errorf("waits-for of 3 = %v", g[3])
+	}
+}
+
+func TestReleaseUnheldIsNoop(t *testing.T) {
+	tab := NewTable(Detect)
+	if grants := tab.Release(1, "x"); grants != nil {
+		t.Error("release of unheld lock produced grants")
+	}
+	tab.Acquire(1, "x", Shared)
+	if grants := tab.Release(2, "x"); grants != nil {
+		t.Error("release by non-holder produced grants")
+	}
+}
+
+func TestRegisterKeepsAgeAcrossRestart(t *testing.T) {
+	tab := NewTable(WaitDie)
+	tab.Register(1)
+	tab.Register(2)
+	tab.ReleaseAll(2)
+	tab.Forget(2)
+	tab.Register(2) // restart
+	if !tab.older(1, 2) {
+		t.Error("restarted transaction lost its age ordering")
+	}
+}
+
+func TestModePolicyStatusStrings(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode strings")
+	}
+	for p, want := range map[Policy]string{Detect: "detect", NoWait: "no-wait", WaitDie: "wait-die", WoundWait: "wound-wait"} {
+		if p.String() != want {
+			t.Errorf("policy %d = %q", int(p), p.String())
+		}
+	}
+	if Policy(9).String() == "" || Status(9).String() == "" {
+		t.Error("unknown enum renders empty")
+	}
+	for s, want := range map[Status]string{Granted: "granted", Waiting: "waiting", AbortSelf: "abort-self"} {
+		if s.String() != want {
+			t.Errorf("status %d = %q", int(s), s.String())
+		}
+	}
+}
+
+// Property: under random acquire/release traffic with the Detect policy,
+// the table invariant always holds and every waiter eventually drains when
+// all transactions release.
+func TestRandomTrafficInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vars := []core.Var{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		tab := NewTable(Detect)
+		const txs = 4
+		for tx := TxID(0); tx < txs; tx++ {
+			tab.Register(tx)
+		}
+		for op := 0; op < 40; op++ {
+			tx := TxID(rng.Intn(txs))
+			v := vars[rng.Intn(len(vars))]
+			mode := Shared
+			if rng.Intn(2) == 0 {
+				mode = Exclusive
+			}
+			if rng.Intn(4) == 0 {
+				tab.ReleaseAll(tx)
+			} else {
+				tab.Acquire(tx, v, mode)
+			}
+			if err := tab.Invariant(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+			// Break deadlocks as a real system would.
+			if cycle, found := tab.DetectDeadlock(); found {
+				tab.ReleaseAll(tab.ChooseVictim(cycle))
+			}
+		}
+		for tx := TxID(0); tx < txs; tx++ {
+			tab.ReleaseAll(tx)
+		}
+		for _, v := range vars {
+			if tab.QueueLen(v) != 0 {
+				t.Fatalf("trial %d: queue on %s not drained", trial, v)
+			}
+			if len(tab.HeldBy(v)) != 0 {
+				t.Fatalf("trial %d: %s still held", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package online
+
+import (
+	"testing"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+	"optcc/internal/herbrand"
+	"optcc/internal/lockmgr"
+	"optcc/internal/schedule"
+)
+
+func rwSystem() *core.System {
+	rw := func(v core.Var) []core.Step {
+		return []core.Step{{Var: v, Kind: core.Read}, {Var: v, Kind: core.Write}}
+	}
+	return (&core.System{
+		Name: "rw-pair",
+		Txs:  []core.Transaction{{Steps: rw("x")}, {Steps: rw("x")}},
+	}).Normalize()
+}
+
+func crossSystem() *core.System {
+	return (&core.System{
+		Name: "cross",
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "y", Kind: core.Update}}},
+			{Steps: []core.Step{{Var: "y", Kind: core.Update}, {Var: "x", Kind: core.Update}}},
+		},
+	}).Normalize()
+}
+
+func allSchedulers() []Scheduler {
+	return []Scheduler{
+		NewSerial(),
+		NewStrict2PL(lockmgr.Detect),
+		NewStrict2PL(lockmgr.NoWait),
+		NewStrict2PL(lockmgr.WaitDie),
+		NewStrict2PL(lockmgr.WoundWait),
+		NewConservative2PL(),
+		NewSGT(),
+		NewSGTAborting(),
+		NewTO(),
+		NewTOThomas(),
+		NewOCC(),
+	}
+}
+
+// Every scheduler must complete every history of small systems, and its
+// final schedule must be legal.
+func TestAllSchedulersCompleteAllHistories(t *testing.T) {
+	for _, sys := range []*core.System{rwSystem(), crossSystem()} {
+		hs := schedule.All(sys.Format(), 0)
+		for _, sched := range allSchedulers() {
+			for _, h := range hs {
+				res, err := Replay(sys, sched, h, 0)
+				if err != nil {
+					t.Fatalf("%s on %v: %v", sched.Name(), h, err)
+				}
+				if !res.Completed {
+					t.Fatalf("%s did not complete %v", sched.Name(), h)
+				}
+				final := res.FinalSchedule(sys)
+				if !final.Legal(sys.Format()) {
+					t.Fatalf("%s produced illegal final schedule %v from %v", sched.Name(), final, h)
+				}
+			}
+		}
+	}
+}
+
+// Every scheduler's final schedule must be conflict-serializable (all the
+// implemented mechanisms guarantee CSR outputs).
+func TestAllSchedulersProduceSerializableOutputs(t *testing.T) {
+	for _, sys := range []*core.System{rwSystem(), crossSystem()} {
+		hs := schedule.All(sys.Format(), 0)
+		for _, sched := range allSchedulers() {
+			for _, h := range hs {
+				res, err := Replay(sys, sched, h, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				final := res.FinalSchedule(sys)
+				csr, _, err := conflict.Serializable(sys, final)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !csr {
+					t.Errorf("%s: input %v gave non-CSR output %v", sched.Name(), h, final)
+				}
+			}
+		}
+	}
+}
+
+// The serial scheduler's fixpoint is exactly the serial schedules
+// (Theorem 2's optimum realized online).
+func TestSerialFixpointIsSerialSchedules(t *testing.T) {
+	sys := crossSystem()
+	hs := schedule.All(sys.Format(), 0)
+	count, err := Fixpoint(sys, NewSerial(), hs, func(h core.Schedule, in bool) {
+		if in != h.IsSerial() {
+			t.Errorf("serial fixpoint wrong on %v: got %v", h, in)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("serial fixpoint size = %d, want 2", count)
+	}
+}
+
+// SGT with delay-on-cycle has fixpoint exactly the CSR set.
+func TestSGTFixpointIsCSR(t *testing.T) {
+	for _, sys := range []*core.System{rwSystem(), crossSystem()} {
+		hs := schedule.All(sys.Format(), 0)
+		_, err := Fixpoint(sys, NewSGT(), hs, func(h core.Schedule, in bool) {
+			csr, _, err := conflict.Serializable(sys, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in != csr {
+				t.Errorf("%s: SGT fixpoint %v but CSR %v for %v", sys.Name, in, csr, h)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Fixpoint hierarchy: serial ⊆ strict-2PL ⊆ SGT = CSR ⊆ SR, with strict
+// growth from serial to SGT. (On the cross system CSR collapses to the
+// serial schedules, so we use a chain system with one shared variable.)
+func TestOnlineFixpointHierarchy(t *testing.T) {
+	sys := (&core.System{
+		Name: "chain",
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Update}, {Var: "z", Kind: core.Update}}},
+			{Steps: []core.Step{{Var: "z", Kind: core.Update}}},
+		},
+	}).Normalize()
+	hs := schedule.All(sys.Format(), 0)
+	serialN, err := Fixpoint(sys, NewSerial(), hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tplN, err := Fixpoint(sys, NewStrict2PL(lockmgr.Detect), hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgtN, err := Fixpoint(sys, NewSGT(), hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := herbrand.NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srN := 0
+	for _, h := range hs {
+		if ok, _, _ := checker.Serializable(h); ok {
+			srN++
+		}
+	}
+	if !(serialN <= tplN && tplN <= sgtN && sgtN <= srN) {
+		t.Errorf("hierarchy violated: serial=%d 2pl=%d sgt=%d sr=%d", serialN, tplN, sgtN, srN)
+	}
+	if serialN >= sgtN {
+		t.Errorf("no growth from serial (%d) to SGT (%d)", serialN, sgtN)
+	}
+}
+
+// Memberships are monotone: any history in the serial fixpoint is in every
+// other scheduler's fixpoint.
+func TestSerialHistoriesPassEverywhere(t *testing.T) {
+	for _, sys := range []*core.System{rwSystem(), crossSystem()} {
+		for _, sched := range allSchedulers() {
+			for _, h := range schedule.Serials(sys.Format()) {
+				res, err := Replay(sys, sched, h, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Undelayed {
+					t.Errorf("%s delayed serial history %v (delays=%d aborts=%d)",
+						sched.Name(), h, res.Delays, res.Aborts)
+				}
+			}
+		}
+	}
+}
+
+// Deadlock handling: the cross system's lock-coupling history forces a
+// deadlock under strict 2PL with detection; the replay must break it and
+// still complete with a serializable result.
+func TestStrict2PLBreaksDeadlock(t *testing.T) {
+	sys := crossSystem()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 1, Idx: 1}}
+	res, err := Replay(sys, NewStrict2PL(lockmgr.Detect), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts == 0 {
+		t.Error("deadlocked history completed without aborts")
+	}
+	if !res.Completed {
+		t.Error("replay did not complete")
+	}
+}
+
+func TestWoundWaitWoundsYounger(t *testing.T) {
+	sys := crossSystem()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 1, Idx: 1}}
+	res, err := Replay(sys, NewStrict2PL(lockmgr.WoundWait), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("wound-wait replay incomplete")
+	}
+	if res.Aborts == 0 {
+		t.Error("wound-wait never wounded on the deadlock-prone history")
+	}
+}
+
+func TestTOAbortsLateReader(t *testing.T) {
+	// T1 (older) reads x after T2 (younger) wrote it — fine. The reverse
+	// order forces an abort: T2 starts first (gets ts 1), T1 second (ts
+	// 2); T1 writes x, then T2 reads x → T2's ts < writeTS → abort.
+	sys := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "y", Kind: core.Read}, {Var: "x", Kind: core.Read}}},
+			{Steps: []core.Step{{Var: "x", Kind: core.Write}, {Var: "y", Kind: core.Write}}},
+		},
+	}).Normalize()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 1, Idx: 1}}
+	res, err := Replay(sys, NewTO(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("TO incomplete")
+	}
+	// T0 read x (ts 1) after T1 (ts 2) wrote it → abort T0... the exact
+	// victim depends on ordering; we only require restarts happened and
+	// the result is serializable.
+	if res.Aborts == 0 {
+		t.Error("TO did not abort on timestamp violation")
+	}
+}
+
+func TestThomasWriteRuleAvoidsAborts(t *testing.T) {
+	// Blind-write-only conflict: T1 writes x late with an old timestamp.
+	sys := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "y", Kind: core.Write}, {Var: "x", Kind: core.Write}}},
+			{Steps: []core.Step{{Var: "x", Kind: core.Write}}},
+		},
+	}).Normalize()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	basic, err := Replay(sys, NewTO(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thomas, err := Replay(sys, NewTOThomas(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.Aborts == 0 {
+		t.Error("basic TO should abort the stale blind write")
+	}
+	if thomas.Aborts != 0 {
+		t.Error("Thomas write rule should skip the stale blind write without abort")
+	}
+}
+
+func TestOCCAbortsOnValidationFailure(t *testing.T) {
+	// T1 reads x twice; T2 writes x and commits in between: backward
+	// validation at T1's commit fails.
+	sys := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Read}, {Var: "x", Kind: core.Read}}},
+			{Steps: []core.Step{{Var: "x", Kind: core.Write}}},
+		},
+	}).Normalize()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	res, err := Replay(sys, NewOCC(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts == 0 {
+		t.Error("OCC validated a stale read")
+	}
+	if !res.Completed {
+		t.Error("OCC incomplete after restart")
+	}
+}
+
+func TestOCCPassesNonConflicting(t *testing.T) {
+	sys := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Read}, {Var: "x", Kind: core.Read}}},
+			{Steps: []core.Step{{Var: "y", Kind: core.Write}}},
+		},
+	}).Normalize()
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	res, err := Replay(sys, NewOCC(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Undelayed {
+		t.Error("OCC delayed a non-conflicting history")
+	}
+}
+
+func TestSGTPruning(t *testing.T) {
+	sys := rwSystem()
+	s := NewSGT()
+	// Serial run: after both commits everything should be pruned.
+	h := core.SerialSchedule(sys.Format(), []int{0, 1})
+	if _, err := Replay(sys, s, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	nodes, steps := s.GraphSize()
+	if nodes != 0 || steps != 0 {
+		t.Errorf("graph not pruned after commits: nodes=%d steps=%d", nodes, steps)
+	}
+}
+
+func TestReplayRejectsIllegalHistory(t *testing.T) {
+	sys := rwSystem()
+	if _, err := Replay(sys, NewSerial(), core.Schedule{{Tx: 0, Idx: 1}}, 0); err == nil {
+		t.Error("illegal history accepted")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Grant.String() != "grant" || Delay.String() != "delay" || AbortTx.String() != "abort" {
+		t.Error("decision strings")
+	}
+	if Decision(7).String() == "" {
+		t.Error("unknown decision string empty")
+	}
+}
+
+func TestConservative2PLNeverDeadlocks(t *testing.T) {
+	sys := crossSystem()
+	hs := schedule.All(sys.Format(), 0)
+	for _, h := range hs {
+		res, err := Replay(sys, NewConservative2PL(), h, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Aborts != 0 {
+			t.Errorf("conservative 2PL aborted on %v", h)
+		}
+		if !res.Completed {
+			t.Errorf("conservative 2PL incomplete on %v", h)
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	want := map[string]bool{}
+	for _, s := range allSchedulers() {
+		if s.Name() == "" {
+			t.Error("empty scheduler name")
+		}
+		if want[s.Name()] {
+			t.Errorf("duplicate scheduler name %s", s.Name())
+		}
+		want[s.Name()] = true
+	}
+}

@@ -1,0 +1,235 @@
+package online
+
+import (
+	"fmt"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+)
+
+// node identifies a transaction incarnation in the SGT graph.
+type node struct {
+	tx, epoch int
+}
+
+// stepRec records one executed step for conflict computation.
+type stepRec struct {
+	n    node
+	step core.Step
+}
+
+// SGT is a serialization-graph-testing scheduler: it grants a step exactly
+// when doing so keeps the conflict graph over live transaction
+// incarnations acyclic. With delay-on-cycle, its fixpoint set is precisely
+// the conflict-serializable schedules — the practical realization of the
+// serialization scheduler of Theorem 3 (CSR ⊆ SR).
+type SGT struct {
+	base
+	sys *core.System
+	// AbortOnCycle aborts the requester when a grant would close a cycle
+	// instead of delaying it (the classic SGT certifier). Delays preserve
+	// the fixpoint; aborts guarantee progress.
+	AbortOnCycle bool
+
+	epoch     []int
+	steps     []stepRec
+	edges     map[node]map[node]bool
+	committed map[node]bool
+}
+
+// NewSGT returns an SGT scheduler that delays on cycles.
+func NewSGT() *SGT { return &SGT{} }
+
+// NewSGTAborting returns an SGT scheduler that aborts the requester on
+// cycles.
+func NewSGTAborting() *SGT { return &SGT{AbortOnCycle: true} }
+
+// Name implements Scheduler.
+func (s *SGT) Name() string {
+	if s.AbortOnCycle {
+		return "sgt/abort"
+	}
+	return "sgt/delay"
+}
+
+// Begin implements Scheduler.
+func (s *SGT) Begin(sys *core.System) {
+	s.sys = sys
+	s.epoch = make([]int, sys.NumTxs())
+	s.steps = nil
+	s.edges = map[node]map[node]bool{}
+	s.committed = map[node]bool{}
+}
+
+func (s *SGT) addEdge(from, to node) {
+	if from == to {
+		return
+	}
+	if s.edges[from] == nil {
+		s.edges[from] = map[node]bool{}
+	}
+	s.edges[from][to] = true
+}
+
+// cyclicWith reports whether the graph plus the tentative edges reaches
+// back to target.
+func (s *SGT) wouldCycle(target node, tentative []node) bool {
+	// DFS from each tentative source to see if target is reachable — a
+	// path target →* source plus edge source → target closes a cycle;
+	// equivalently, adding source→target edges creates a cycle iff target
+	// already reaches some source.
+	seen := map[node]bool{}
+	var stack []node
+	stack = append(stack, target)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		for v := range s.edges[u] {
+			stack = append(stack, v)
+		}
+	}
+	for _, src := range tentative {
+		if seen[src] {
+			return true
+		}
+	}
+	return false
+}
+
+// Try implements Scheduler.
+func (s *SGT) Try(id core.StepID) Decision {
+	me := node{id.Tx, s.epoch[id.Tx]}
+	step := s.sys.Step(id)
+	var sources []node
+	seen := map[node]bool{}
+	for _, rec := range s.steps {
+		if rec.n.tx == id.Tx && rec.n.epoch == s.epoch[id.Tx] {
+			continue
+		}
+		if conflict.Conflicts(rec.step, step) && !seen[rec.n] {
+			seen[rec.n] = true
+			sources = append(sources, rec.n)
+		}
+	}
+	if s.wouldCycle(me, sources) {
+		if s.AbortOnCycle {
+			return AbortTx
+		}
+		return Delay
+	}
+	for _, src := range sources {
+		s.addEdge(src, me)
+	}
+	s.steps = append(s.steps, stepRec{n: me, step: step})
+	return Grant
+}
+
+// Commit implements Scheduler.
+func (s *SGT) Commit(tx int) {
+	s.committed[node{tx, s.epoch[tx]}] = true
+	s.prune()
+}
+
+// Abort implements Scheduler.
+func (s *SGT) Abort(tx int) {
+	gone := node{tx, s.epoch[tx]}
+	s.epoch[tx]++
+	delete(s.edges, gone)
+	for _, m := range s.edges {
+		delete(m, gone)
+	}
+	kept := s.steps[:0]
+	for _, rec := range s.steps {
+		if rec.n != gone {
+			kept = append(kept, rec)
+		}
+	}
+	s.steps = kept
+	s.prune()
+}
+
+// prune removes committed incarnations with no incoming edges: they can
+// never join a future cycle (new edges only leave committed nodes), so
+// their steps and edges are garbage. Removing one may expose another.
+func (s *SGT) prune() {
+	for {
+		indeg := map[node]int{}
+		nodes := map[node]bool{}
+		for _, rec := range s.steps {
+			nodes[rec.n] = true
+		}
+		for from, tos := range s.edges {
+			nodes[from] = true
+			for to := range tos {
+				indeg[to]++
+				nodes[to] = true
+			}
+		}
+		removed := false
+		for n := range nodes {
+			if s.committed[n] && indeg[n] == 0 {
+				delete(s.edges, n)
+				delete(s.committed, n)
+				kept := s.steps[:0]
+				for _, rec := range s.steps {
+					if rec.n != n {
+						kept = append(kept, rec)
+					}
+				}
+				s.steps = kept
+				removed = true
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// GraphSize returns the number of live nodes and recorded steps (for tests
+// of the pruning logic).
+func (s *SGT) GraphSize() (nodes, steps int) {
+	set := map[node]bool{}
+	for _, rec := range s.steps {
+		set[rec.n] = true
+	}
+	for from, tos := range s.edges {
+		set[from] = true
+		for to := range tos {
+			set[to] = true
+		}
+	}
+	return len(set), len(s.steps)
+}
+
+// Victim implements Scheduler: abort the stuck transaction with the most
+// incoming conflict edges (most constrained).
+func (s *SGT) Victim(stuck []int) (int, bool) {
+	if len(stuck) == 0 {
+		return 0, false
+	}
+	best, bestIn := stuck[0], -1
+	for _, tx := range stuck {
+		me := node{tx, s.epoch[tx]}
+		in := 0
+		for _, tos := range s.edges {
+			if tos[me] {
+				in++
+			}
+		}
+		if in > bestIn {
+			best, bestIn = tx, in
+		}
+	}
+	return best, true
+}
+
+// String renders a summary for debugging.
+func (s *SGT) String() string {
+	nodes, steps := s.GraphSize()
+	return fmt.Sprintf("sgt{nodes=%d steps=%d}", nodes, steps)
+}

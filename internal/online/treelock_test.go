@@ -1,0 +1,102 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+	"optcc/internal/schedule"
+	"optcc/internal/workload"
+)
+
+func TestTreeLockCompletesPathWorkload(t *testing.T) {
+	sys := workload.PathWorkload(3, 4, 17)
+	rng := rand.New(rand.NewSource(5))
+	var hs []core.Schedule
+	for i := 0; i < 200; i++ {
+		hs = append(hs, schedule.Random(sys.Format(), rng))
+	}
+	sched := NewTreeLock()
+	for _, h := range hs {
+		res, err := Replay(sys, sched, h, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if !res.Completed {
+			t.Fatalf("tree lock did not complete %v", h)
+		}
+		final := res.FinalSchedule(sys)
+		csr, _, err := conflict.Serializable(sys, final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !csr {
+			t.Fatalf("tree lock emitted non-serializable %v from %v", final, h)
+		}
+	}
+}
+
+// Tree locking's fixpoint strictly contains strict 2PL's on path
+// workloads: releasing the root early admits interleavings 2PL forbids.
+func TestTreeLockBeatsStrict2PLOnPaths(t *testing.T) {
+	// Two transactions descending to different leaves through the shared
+	// root n0: n0→n1→n3 and n0→n2→n6.
+	mk := func(path ...core.Var) core.Transaction {
+		steps := make([]core.Step, len(path))
+		for i, v := range path {
+			steps[i] = core.Step{Var: v, Kind: core.Update,
+				Fn: func(l []core.Value) core.Value { return l[len(l)-1] + 1 }}
+		}
+		return core.Transaction{Steps: steps}
+	}
+	sys := (&core.System{
+		Name: "paths",
+		Txs: []core.Transaction{
+			mk("n0", "n1", "n3"),
+			mk("n0", "n2", "n6"),
+		},
+	}).Normalize()
+	hs := schedule.All(sys.Format(), 0)
+	tree := 0
+	twopl := 0
+	for _, h := range hs {
+		if res, err := Replay(sys, NewTreeLock(), h, 0); err == nil && res.Undelayed {
+			tree++
+		}
+		if res, err := Replay(sys, NewStrict2PL(0), h, 0); err == nil && res.Undelayed {
+			twopl++
+		}
+	}
+	if tree <= twopl {
+		t.Errorf("tree lock fixpoint %d, strict 2PL fixpoint %d; want tree > 2PL on path workloads", tree, twopl)
+	}
+}
+
+func TestTreeLockNoDeadlockOnDescendingPaths(t *testing.T) {
+	sys := workload.PathWorkload(4, 6, 23)
+	// A crossing arrival order that would deadlock hold-everything
+	// locking: interleave first steps of all transactions.
+	var h core.Schedule
+	next := make([]int, sys.NumTxs())
+	remaining := sys.StepCount()
+	for remaining > 0 {
+		for tx := 0; tx < sys.NumTxs(); tx++ {
+			if next[tx] < len(sys.Txs[tx].Steps) {
+				h = append(h, core.StepID{Tx: tx, Idx: next[tx]})
+				next[tx]++
+				remaining--
+			}
+		}
+	}
+	res, err := Replay(sys, NewTreeLock(), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts != 0 {
+		t.Errorf("tree lock aborted %d times on descending paths", res.Aborts)
+	}
+	if !res.Completed {
+		t.Error("tree lock incomplete")
+	}
+}

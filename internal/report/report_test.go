@@ -1,0 +1,116 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 22.5)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22.500") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("md", "a", "b")
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	for _, want := range []string{"### md", "| a | b |", "| --- | --- |", "| x | y |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-9 {
+		t.Errorf("var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+	var empty Stats
+	if empty.Var() != 0 || empty.Mean() != 0 {
+		t.Error("empty stats nonzero")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Errorf("n = %d", h.N())
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(95); got != 95 {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Summary() == "" {
+		t.Error("empty summary")
+	}
+	var empty Histogram
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram nonzero")
+	}
+}
+
+func TestHistogramInterleavedAddQuery(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	_ = h.Percentile(50)
+	h.Add(1) // must re-sort
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 after re-add = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 4) != "1/4 (25.0%)" {
+		t.Errorf("ratio = %q", Ratio(1, 4))
+	}
+	if Ratio(0, 0) != "0/0" {
+		t.Error("zero denominator")
+	}
+}

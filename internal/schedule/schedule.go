@@ -1,0 +1,245 @@
+// Package schedule provides the combinatorics of the schedule space H(T):
+// counting, enumeration, ranking/unranking and uniform random sampling of
+// the legal interleavings of a transaction-system format.
+//
+// H depends only on the format (m1..mn): |H| is the multinomial coefficient
+// (Σmi)! / Πmi!. The paper's performance measure |P|/|H| (Section 6) is the
+// probability that a uniformly random request history needs no delay, so
+// exact counting and uniform sampling are first-class operations here.
+package schedule
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"optcc/internal/core"
+)
+
+// Count returns |H| for the format: the multinomial coefficient
+// (Σ m_i)! / Π m_i!.
+func Count(format []int) *big.Int {
+	total := 0
+	for _, m := range format {
+		if m < 0 {
+			return big.NewInt(0)
+		}
+		total += m
+	}
+	res := big.NewInt(1)
+	// Π over transactions of C(remaining, m_i).
+	remaining := total
+	for _, m := range format {
+		res.Mul(res, binomial(remaining, m))
+		remaining -= m
+	}
+	return res
+}
+
+// CountSerial returns the number of serial schedules: n! for n non-empty
+// transactions.
+func CountSerial(format []int) *big.Int {
+	res := big.NewInt(1)
+	for i := 2; i <= len(format); i++ {
+		res.Mul(res, big.NewInt(int64(i)))
+	}
+	return res
+}
+
+func binomial(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Enumerate calls yield for every legal schedule of the format, in
+// lexicographic order of transaction indices. Enumeration stops early if
+// yield returns false. The Schedule passed to yield is reused between
+// calls; clone it if it must be retained.
+func Enumerate(format []int, yield func(core.Schedule) bool) {
+	total := 0
+	for _, m := range format {
+		total += m
+	}
+	cur := make(core.Schedule, 0, total)
+	next := make([]int, len(format))
+	var rec func() bool
+	rec = func() bool {
+		if len(cur) == total {
+			return yield(cur)
+		}
+		for i := range format {
+			if next[i] < format[i] {
+				cur = append(cur, core.StepID{Tx: i, Idx: next[i]})
+				next[i]++
+				ok := rec()
+				next[i]--
+				cur = cur[:len(cur)-1]
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// All materializes every legal schedule of the format. Intended for small
+// formats only; it panics if |H| exceeds limit (pass 0 for the default of
+// 1e6).
+func All(format []int, limit int) []core.Schedule {
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	if Count(format).Cmp(big.NewInt(int64(limit))) > 0 {
+		panic(fmt.Sprintf("schedule.All: |H| = %v exceeds limit %d for format %v", Count(format), limit, format))
+	}
+	var out []core.Schedule
+	Enumerate(format, func(h core.Schedule) bool {
+		out = append(out, h.Clone())
+		return true
+	})
+	return out
+}
+
+// Serials returns all serial schedules of the format (n! of them), in
+// lexicographic order of the transaction permutation.
+func Serials(format []int) []core.Schedule {
+	n := len(format)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var out []core.Schedule
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == n {
+			out = append(out, core.SerialSchedule(format, perm))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				used[i] = true
+				perm[depth] = i
+				rec(depth + 1)
+				used[i] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Random returns a uniformly random legal schedule of the format. Each of
+// the |H| schedules is equally likely (shuffling the multiset of
+// transaction labels is uniform over distinct arrangements because every
+// arrangement has the same multiplicity Π m_i!).
+func Random(format []int, rng *rand.Rand) core.Schedule {
+	var labels []int
+	for i, m := range format {
+		for j := 0; j < m; j++ {
+			labels = append(labels, i)
+		}
+	}
+	rng.Shuffle(len(labels), func(a, b int) { labels[a], labels[b] = labels[b], labels[a] })
+	next := make([]int, len(format))
+	h := make(core.Schedule, len(labels))
+	for k, tx := range labels {
+		h[k] = core.StepID{Tx: tx, Idx: next[tx]}
+		next[tx]++
+	}
+	return h
+}
+
+// Rank returns the index of h in the lexicographic enumeration order used
+// by Enumerate. Rank and Unrank are inverses.
+func Rank(format []int, h core.Schedule) (*big.Int, error) {
+	if !h.Legal(format) {
+		return nil, fmt.Errorf("schedule %v not legal for format %v", h, format)
+	}
+	remaining := append([]int(nil), format...)
+	total := 0
+	for _, m := range format {
+		total += m
+	}
+	rank := big.NewInt(0)
+	for pos, id := range h {
+		rest := total - pos - 1
+		// Count schedules starting with a smaller transaction index at
+		// this position.
+		for i := 0; i < id.Tx; i++ {
+			if remaining[i] > 0 {
+				remaining[i]--
+				rank.Add(rank, countRemaining(remaining, rest))
+				remaining[i]++
+			}
+		}
+		remaining[id.Tx]--
+	}
+	return rank, nil
+}
+
+// Unrank returns the schedule at the given index of the lexicographic
+// enumeration order. The index must lie in [0, |H|).
+func Unrank(format []int, rank *big.Int) (core.Schedule, error) {
+	if rank.Sign() < 0 || rank.Cmp(Count(format)) >= 0 {
+		return nil, fmt.Errorf("rank %v out of range [0, %v)", rank, Count(format))
+	}
+	remaining := append([]int(nil), format...)
+	next := make([]int, len(format))
+	total := 0
+	for _, m := range format {
+		total += m
+	}
+	r := new(big.Int).Set(rank)
+	h := make(core.Schedule, 0, total)
+	for pos := 0; pos < total; pos++ {
+		rest := total - pos - 1
+		for i := range remaining {
+			if remaining[i] == 0 {
+				continue
+			}
+			remaining[i]--
+			c := countRemaining(remaining, rest)
+			if r.Cmp(c) < 0 {
+				h = append(h, core.StepID{Tx: i, Idx: next[i]})
+				next[i]++
+				break
+			}
+			r.Sub(r, c)
+			remaining[i]++
+		}
+	}
+	return h, nil
+}
+
+// countRemaining counts arrangements of the remaining multiset of the given
+// total size.
+func countRemaining(remaining []int, total int) *big.Int {
+	res := big.NewInt(1)
+	rest := total
+	for _, m := range remaining {
+		res.Mul(res, binomial(rest, m))
+		rest -= m
+	}
+	return res
+}
+
+// Neighbors returns all schedules reachable from h by one elementary
+// transformation (one legal adjacent transposition), in position order.
+func Neighbors(h core.Schedule) []core.Schedule {
+	var out []core.Schedule
+	for k := 0; k+1 < len(h); k++ {
+		if g, err := h.SwapAdjacent(k); err == nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Prefixes calls yield for every legal proper prefix length of h including
+// zero and len(h).
+func Prefixes(h core.Schedule, yield func(prefix core.Schedule) bool) {
+	for k := 0; k <= len(h); k++ {
+		if !yield(h[:k]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package schedule
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optcc/internal/core"
+)
+
+func TestCountSmallFormats(t *testing.T) {
+	cases := []struct {
+		format []int
+		want   int64
+	}{
+		{[]int{1}, 1},
+		{[]int{1, 1}, 2},
+		{[]int{2, 1}, 3},
+		{[]int{2, 2}, 6},
+		{[]int{2, 2, 2}, 90},
+		{[]int{3, 2, 4}, 1260}, // the banking system of Section 2
+		{[]int{}, 1},
+	}
+	for _, c := range cases {
+		if got := Count(c.format); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Count(%v) = %v, want %d", c.format, got, c.want)
+		}
+	}
+}
+
+func TestCountSerial(t *testing.T) {
+	if got := CountSerial([]int{3, 2, 4}); got.Cmp(big.NewInt(6)) != 0 {
+		t.Errorf("CountSerial = %v, want 6", got)
+	}
+	if got := CountSerial([]int{5}); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("CountSerial single = %v, want 1", got)
+	}
+}
+
+func TestEnumerateMatchesCountAndLegality(t *testing.T) {
+	for _, format := range [][]int{{1, 1}, {2, 2}, {2, 2, 2}, {3, 1}, {1, 1, 1, 1}} {
+		n := 0
+		seen := map[string]bool{}
+		Enumerate(format, func(h core.Schedule) bool {
+			if !h.Legal(format) {
+				t.Fatalf("enumerated illegal schedule %v for %v", h, format)
+			}
+			k := h.Key()
+			if seen[k] {
+				t.Fatalf("duplicate schedule %v", h)
+			}
+			seen[k] = true
+			n++
+			return true
+		})
+		if want := Count(format); want.Cmp(big.NewInt(int64(n))) != 0 {
+			t.Errorf("format %v: enumerated %d, Count says %v", format, n, want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	n := 0
+	Enumerate([]int{3, 3}, func(core.Schedule) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d schedules, want 5", n)
+	}
+}
+
+func TestAllPanicsOnHugeFormats(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("All did not panic for oversized format")
+		}
+	}()
+	All([]int{20, 20, 20}, 1000)
+}
+
+func TestAllSmall(t *testing.T) {
+	hs := All([]int{2, 1}, 0)
+	if len(hs) != 3 {
+		t.Fatalf("All([2 1]) returned %d schedules, want 3", len(hs))
+	}
+	// Schedules must be independent copies.
+	hs[0][0] = core.StepID{Tx: 9, Idx: 9}
+	if hs[1][0].Tx == 9 {
+		t.Error("All returned aliased schedules")
+	}
+}
+
+func TestSerials(t *testing.T) {
+	ss := Serials([]int{2, 1, 1})
+	if len(ss) != 6 {
+		t.Fatalf("Serials returned %d, want 3! = 6", len(ss))
+	}
+	for _, h := range ss {
+		if !h.IsSerial() {
+			t.Errorf("Serials produced non-serial %v", h)
+		}
+		if !h.Legal([]int{2, 1, 1}) {
+			t.Errorf("Serials produced illegal %v", h)
+		}
+	}
+}
+
+func TestRandomIsLegalAndRoughlyUniform(t *testing.T) {
+	format := []int{2, 1} // 3 schedules
+	rng := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		h := Random(format, rng)
+		if !h.Legal(format) {
+			t.Fatalf("Random produced illegal schedule %v", h)
+		}
+		counts[h.Key()]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("Random hit %d distinct schedules, want 3", len(counts))
+	}
+	for k, c := range counts {
+		if c < trials/3-200 || c > trials/3+200 {
+			t.Errorf("schedule %s sampled %d times; not within ±200 of %d", k, c, trials/3)
+		}
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	format := []int{2, 2, 1}
+	idx := int64(0)
+	Enumerate(format, func(h core.Schedule) bool {
+		r, err := Rank(format, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cmp(big.NewInt(idx)) != 0 {
+			t.Fatalf("Rank(%v) = %v, want %d (enumeration order)", h, r, idx)
+		}
+		g, err := Unrank(format, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("Unrank(Rank(%v)) = %v", h, g)
+		}
+		idx++
+		return true
+	})
+}
+
+func TestRankRejectsIllegal(t *testing.T) {
+	if _, err := Rank([]int{2, 1}, core.Schedule{{Tx: 0, Idx: 1}}); err == nil {
+		t.Error("Rank accepted illegal schedule")
+	}
+	if _, err := Unrank([]int{2, 1}, big.NewInt(99)); err == nil {
+		t.Error("Unrank accepted out-of-range rank")
+	}
+	if _, err := Unrank([]int{2, 1}, big.NewInt(-1)); err == nil {
+		t.Error("Unrank accepted negative rank")
+	}
+}
+
+func TestNeighborsAreLegalElementaryTransforms(t *testing.T) {
+	format := []int{2, 2}
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}, {Tx: 1, Idx: 1}}
+	ns := Neighbors(h)
+	if len(ns) != 3 {
+		t.Fatalf("Neighbors returned %d, want 3 (all three adjacent pairs are cross-transaction)", len(ns))
+	}
+	for _, g := range ns {
+		if !g.Legal(format) {
+			t.Errorf("neighbor %v illegal", g)
+		}
+		diff := 0
+		for i := range g {
+			if g[i] != h[i] {
+				diff++
+			}
+		}
+		if diff != 2 {
+			t.Errorf("neighbor %v differs from %v in %d positions, want 2", g, h, diff)
+		}
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}}
+	var lens []int
+	Prefixes(h, func(p core.Schedule) bool {
+		lens = append(lens, len(p))
+		return true
+	})
+	if len(lens) != 3 || lens[0] != 0 || lens[2] != 2 {
+		t.Errorf("prefix lengths = %v", lens)
+	}
+	n := 0
+	Prefixes(h, func(core.Schedule) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d prefixes", n)
+	}
+}
+
+// Property: Rank is a bijection onto [0, |H|) — spot-check via random
+// sampling on random small formats.
+func TestRankBijectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		format := make([]int, n)
+		for i := range format {
+			format[i] = 1 + r.Intn(3)
+		}
+		h := Random(format, r)
+		rank, err := Rank(format, h)
+		if err != nil {
+			return false
+		}
+		g, err := Unrank(format, rank)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

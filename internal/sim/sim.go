@@ -1,0 +1,393 @@
+// Package sim is the concurrent runtime of the repository: a
+// goroutine-per-user simulation of the Section 6 environment. Multiple
+// users at terminals execute transactions that mostly compute locally but
+// occasionally touch shared data; a single centralized scheduler goroutine
+// grants, delays or aborts each arriving step request.
+//
+// The simulator decomposes each step's latency exactly as Section 6 does:
+//
+//	scheduling time — queueing for the central scheduler plus its decision,
+//	waiting time    — imposed delay until conflicting steps complete,
+//	execution time  — the (simulated) cost of running the step.
+//
+// Any internal/online.Scheduler can be plugged in, so the experiments
+// compare the waiting time induced by schedulers with poorer or richer
+// fixpoint sets (E4), deadlock-handling policies (E7), and structured
+// versus unstructured locking (E6).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"optcc/internal/core"
+	"optcc/internal/online"
+	"optcc/internal/report"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// System is the instance system: each transaction is one job to run
+	// exactly once. Build it from a template with Instantiate.
+	System *core.System
+	// Sched is the concurrency control under test. The simulator owns it
+	// for the duration of the run.
+	Sched online.Scheduler
+	// Users is the number of concurrent user goroutines; jobs are assigned
+	// round-robin. Zero means one user per job.
+	Users int
+	// ExecTime simulates the per-step execution cost (0 = instantaneous).
+	ExecTime time.Duration
+	// ThinkTime simulates per-user local computation between steps, drawn
+	// uniformly from [0, ThinkTime].
+	ThinkTime time.Duration
+	// MaxRestarts bounds per-job restarts (0 means 1000).
+	MaxRestarts int
+	// Seed drives arrival jitter and backoff randomization.
+	Seed int64
+}
+
+// Metrics aggregates a run.
+type Metrics struct {
+	// Committed is the number of jobs that committed.
+	Committed int
+	// Aborts counts transaction restarts.
+	Aborts int
+	// DeadlockBreaks counts victims chosen when every in-flight
+	// transaction was blocked.
+	DeadlockBreaks int
+	// WaitNs records per-request waiting time (delay until grant/abort).
+	WaitNs report.Histogram
+	// SchedNs records per-request scheduling time (queueing + decision).
+	SchedNs report.Histogram
+	// TxLatencyNs records per-job total latency, restarts included.
+	TxLatencyNs report.Histogram
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Throughput is committed jobs per second of wall clock.
+	Throughput float64
+	// Output is the granted-step log (final attempts only), a legal
+	// schedule of the instance system.
+	Output core.Schedule
+}
+
+// Instantiate builds an instance system with `jobs` transactions by cycling
+// through the template's transactions. Instance i runs template transaction
+// i mod n under the name "<template>#<i>".
+func Instantiate(template *core.System, jobs int) *core.System {
+	inst := &core.System{Name: template.Name + "-inst", IC: template.IC}
+	for i := 0; i < jobs; i++ {
+		src := template.Txs[i%len(template.Txs)]
+		tx := core.Transaction{Name: fmt.Sprintf("%s#%d", src.Name, i), Steps: src.Steps}
+		inst.Txs = append(inst.Txs, tx)
+	}
+	return inst.Normalize()
+}
+
+// request is one step arrival sent to the scheduler goroutine.
+type request struct {
+	tx      int
+	idx     int
+	arrived time.Time
+	reply   chan verdict
+}
+
+type verdict struct {
+	aborted bool
+	// parked reports the request was delayed before its decision, so its
+	// latency is waiting time rather than scheduling time (Section 6).
+	parked  bool
+	decided time.Time
+}
+
+// parked is a delayed request awaiting retry.
+type parked struct {
+	req   request
+	since time.Time
+}
+
+// Run executes the simulation and returns its metrics. It is deterministic
+// in structure (seeded jitter) but, as a true concurrent run, the exact
+// interleaving varies; the metrics' invariants (all jobs commit, output
+// legal) hold on every run.
+func Run(cfg Config) (*Metrics, error) {
+	sys := cfg.System
+	if sys == nil || sys.NumTxs() == 0 {
+		return nil, fmt.Errorf("sim: empty system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	users := cfg.Users
+	if users <= 0 || users > sys.NumTxs() {
+		users = sys.NumTxs()
+	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1000
+	}
+
+	m := &Metrics{}
+	var mu sync.Mutex // guards metrics and sched state below
+
+	sched := cfg.Sched
+	sched.Begin(sys)
+
+	var (
+		waiting   []parked
+		inFlight  = map[int]bool{} // started, not committed/aborted-pending
+		wounded   = map[int]bool{}
+		attempts  = make([]int, sys.NumTxs())
+		committed = make([]bool, sys.NumTxs())
+		output    []online.Event
+	)
+	for i := range attempts {
+		attempts[i] = 1
+	}
+
+	reqCh := make(chan request)
+	done := make(chan struct{})
+
+	grantOne := func(r request, now time.Time) verdict {
+		output = append(output, online.Event{Step: core.StepID{Tx: r.tx, Idx: r.idx}, Attempt: attempts[r.tx]})
+		last := r.idx == len(sys.Txs[r.tx].Steps)-1
+		if last {
+			committed[r.tx] = true
+			delete(inFlight, r.tx)
+			sched.Commit(r.tx)
+		}
+		return verdict{decided: now}
+	}
+
+	abortOne := func(tx int) {
+		sched.Abort(tx)
+		attempts[tx]++
+		delete(inFlight, tx)
+		m.Aborts++
+	}
+
+	collectWounds := func() {
+		for _, w := range sched.Wounded() {
+			if !committed[w] {
+				wounded[w] = true
+			}
+		}
+	}
+
+	// tryRequest decides one request; returns (verdict, decided).
+	tryRequest := func(r request) (verdict, bool) {
+		if wounded[r.tx] {
+			delete(wounded, r.tx)
+			abortOne(r.tx)
+			return verdict{aborted: true, decided: time.Now()}, true
+		}
+		inFlight[r.tx] = true
+		d := sched.Try(core.StepID{Tx: r.tx, Idx: r.idx})
+		collectWounds()
+		now := time.Now()
+		switch d {
+		case online.Grant:
+			// A transaction wounded by its own request's side effects is
+			// honored on its next request, not this grant.
+			return grantOne(r, now), true
+		case online.AbortTx:
+			abortOne(r.tx)
+			return verdict{aborted: true, decided: now}, true
+		default:
+			return verdict{}, false
+		}
+	}
+
+	retryParked := func() {
+		for {
+			progressed := false
+			kept := waiting[:0]
+			for _, p := range waiting {
+				if wounded[p.req.tx] {
+					delete(wounded, p.req.tx)
+					abortOne(p.req.tx)
+					p.req.reply <- verdict{aborted: true, parked: true, decided: time.Now()}
+					progressed = true
+					continue
+				}
+				if v, decided := tryRequest(p.req); decided {
+					v.decided = time.Now()
+					v.parked = true
+					p.req.reply <- v
+					progressed = true
+				} else {
+					kept = append(kept, p)
+				}
+			}
+			waiting = kept
+			if !progressed {
+				return
+			}
+		}
+	}
+
+	breakDeadlock := func() {
+		// All in-flight transactions parked: abort a victim.
+		var stuck []int
+		for _, p := range waiting {
+			stuck = append(stuck, p.req.tx)
+		}
+		if len(stuck) == 0 {
+			return
+		}
+		victim, ok := sched.Victim(stuck)
+		if !ok || !containsInt(stuck, victim) {
+			victim = stuck[0]
+		}
+		m.DeadlockBreaks++
+		kept := waiting[:0]
+		var victimReply chan verdict
+		for _, p := range waiting {
+			if p.req.tx == victim && victimReply == nil {
+				victimReply = p.req.reply
+				continue
+			}
+			kept = append(kept, p)
+		}
+		waiting = kept
+		abortOne(victim)
+		victimReply <- verdict{aborted: true, parked: true, decided: time.Now()}
+		retryParked()
+	}
+
+	// Scheduler goroutine: the single centralized scheduler of Section 6.
+	go func() {
+		for {
+			select {
+			case r := <-reqCh:
+				mu.Lock()
+				if v, decided := tryRequest(r); decided {
+					r.reply <- v
+				} else {
+					waiting = append(waiting, parked{req: r, since: time.Now()})
+				}
+				retryParked()
+				// Deadlock: every in-flight transaction is parked.
+				for len(waiting) > 0 && len(waiting) >= len(inFlight) && allParked(waiting, inFlight) {
+					breakDeadlock()
+				}
+				mu.Unlock()
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	jobCh := make(chan int)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(user)*7919))
+			for tx := range jobCh {
+				txStart := time.Now()
+				for {
+					restart := false
+					steps := len(sys.Txs[tx].Steps)
+					for idx := 0; idx < steps; idx++ {
+						if cfg.ThinkTime > 0 {
+							time.Sleep(time.Duration(rng.Int63n(int64(cfg.ThinkTime) + 1)))
+						}
+						sent := time.Now()
+						reply := make(chan verdict, 1)
+						reqCh <- request{tx: tx, idx: idx, arrived: sent, reply: reply}
+						v := <-reply
+						mu.Lock()
+						if v.parked {
+							m.WaitNs.Add(float64(v.decided.Sub(sent)))
+						} else {
+							m.SchedNs.Add(float64(v.decided.Sub(sent)))
+						}
+						mu.Unlock()
+						if v.aborted {
+							restart = true
+							break
+						}
+						if cfg.ExecTime > 0 {
+							time.Sleep(cfg.ExecTime)
+						}
+					}
+					if !restart {
+						break
+					}
+					mu.Lock()
+					budget := attempts[tx] > maxRestarts
+					mu.Unlock()
+					if budget {
+						break
+					}
+					// Randomized backoff before restarting.
+					time.Sleep(time.Duration(rng.Int63n(int64(50 * time.Microsecond))))
+				}
+				mu.Lock()
+				m.TxLatencyNs.Add(float64(time.Since(txStart)))
+				mu.Unlock()
+			}
+		}(u)
+	}
+
+	start := time.Now()
+	for tx := 0; tx < sys.NumTxs(); tx++ {
+		jobCh <- tx
+	}
+	close(jobCh)
+	wg.Wait()
+	close(done)
+	m.Elapsed = time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for tx := 0; tx < sys.NumTxs(); tx++ {
+		if committed[tx] {
+			m.Committed++
+		}
+	}
+	if m.Elapsed > 0 {
+		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
+	}
+	// Final-attempt projection of the output log.
+	lastAttempt := make([]int, sys.NumTxs())
+	for _, e := range output {
+		if e.Attempt > lastAttempt[e.Step.Tx] {
+			lastAttempt[e.Step.Tx] = e.Attempt
+		}
+	}
+	for _, e := range output {
+		if e.Attempt == lastAttempt[e.Step.Tx] {
+			m.Output = append(m.Output, e.Step)
+		}
+	}
+	return m, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// allParked reports whether every in-flight transaction has a parked
+// request.
+func allParked(waiting []parked, inFlight map[int]bool) bool {
+	parkedTx := map[int]bool{}
+	for _, p := range waiting {
+		parkedTx[p.req.tx] = true
+	}
+	for tx := range inFlight {
+		if !parkedTx[tx] {
+			return false
+		}
+	}
+	return len(inFlight) > 0
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"optcc/internal/core"
+	"optcc/internal/schedule"
+)
+
+func TestBankingMatchesPaper(t *testing.T) {
+	sys := Banking()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := sys.Format()
+	if len(f) != 3 || f[0] != 3 || f[1] != 2 || f[2] != 4 {
+		t.Fatalf("format = %v, want (3,2,4)", f)
+	}
+	vars := sys.Vars()
+	if len(vars) != 4 {
+		t.Fatalf("vars = %v, want A,B,C,S", vars)
+	}
+	if !sys.Executable() {
+		t.Fatal("banking not executable")
+	}
+	// The paper's example initial state is consistent.
+	if !sys.Consistent(core.DB{"A": 150, "B": 50, "S": 200, "C": 0}) {
+		t.Error("paper's initial state judged inconsistent")
+	}
+	if sys.Consistent(core.DB{"A": -1, "B": 50, "S": 49, "C": 0}) {
+		t.Error("negative balance judged consistent")
+	}
+}
+
+func TestBankingTransactionsIndividuallyCorrect(t *testing.T) {
+	// The basic assumption: every transaction alone preserves consistency
+	// from every consistent probe state.
+	sys := Banking()
+	for ti := range sys.Txs {
+		for _, init := range sys.InitialStates() {
+			if !sys.Consistent(init) {
+				continue
+			}
+			final, err := core.ExecSerialOrder(sys, []int{ti}, init)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sys.Consistent(final) {
+				t.Errorf("transaction %s alone breaks IC from %v: %v", sys.Txs[ti].Name, init, final)
+			}
+		}
+	}
+}
+
+func TestBankingSerialSchedulesCorrect(t *testing.T) {
+	sys := Banking()
+	for _, h := range schedule.Serials(sys.Format()) {
+		ok, err := core.ScheduleCorrect(sys, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("serial banking schedule %v incorrect", h)
+		}
+	}
+}
+
+func TestBankingHasIncorrectInterleaving(t *testing.T) {
+	// Some interleaving must break consistency — otherwise the example
+	// would not motivate concurrency control.
+	sys := Banking()
+	found := false
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		ok, err := core.ScheduleCorrect(sys, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("every banking interleaving is correct; the example should have anomalies")
+	}
+}
+
+func TestBankingTransferSemantics(t *testing.T) {
+	sys := Banking()
+	// T1 alone from the paper's state: A=150 ≥ 100 and B=50 < 100 → the
+	// transfer happens.
+	final, err := core.ExecSerialOrder(sys, []int{0}, core.DB{"A": 150, "B": 50, "S": 200, "C": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final["A"] != 50 || final["B"] != 150 {
+		t.Errorf("transfer result %v, want A=50 B=150", final)
+	}
+	// No transfer when B ≥ 100.
+	final, err = core.ExecSerialOrder(sys, []int{0}, core.DB{"A": 100, "B": 100, "S": 200, "C": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final["A"] != 100 || final["B"] != 100 {
+		t.Errorf("guarded transfer result %v, want unchanged", final)
+	}
+	// T2: withdraw when B has funds.
+	final, err = core.ExecSerialOrder(sys, []int{1}, core.DB{"A": 150, "B": 50, "S": 200, "C": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final["B"] != 0 || final["C"] != 1 {
+		t.Errorf("withdraw result %v, want B=0 C=1", final)
+	}
+	// T3: audit.
+	final, err = core.ExecSerialOrder(sys, []int{2}, core.DB{"A": 200, "B": 0, "S": 250, "C": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final["S"] != 200 || final["C"] != 0 {
+		t.Errorf("audit result %v, want S=200 C=0", final)
+	}
+}
+
+func TestCanonicalSystemsValidate(t *testing.T) {
+	for _, sys := range []*core.System{Banking(), Figure1(), Theorem2Adversary(), Cross(), Chain(), LostUpdate()} {
+		if err := sys.Validate(); err != nil {
+			t.Errorf("%s: %v", sys.Name, err)
+		}
+		if !sys.Executable() {
+			t.Errorf("%s not executable", sys.Name)
+		}
+	}
+}
+
+func TestTheorem2AdversaryBehaviour(t *testing.T) {
+	sys := Theorem2Adversary()
+	bad := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	ok, err := core.ScheduleCorrect(sys, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("interleaved adversary schedule judged correct")
+	}
+	for _, h := range schedule.Serials(sys.Format()) {
+		ok, err := core.ScheduleCorrect(sys, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("serial %v incorrect", h)
+		}
+	}
+}
+
+func TestRandomSystemsAreReproducible(t *testing.T) {
+	a := Random(RandomConfig{}, 7)
+	b := Random(RandomConfig{}, 7)
+	if a.String() != b.String() {
+		t.Error("same seed produced different syntax")
+	}
+	c := Random(RandomConfig{}, 8)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical syntax")
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !a.Executable() {
+		t.Error("random system not executable")
+	}
+}
+
+func TestRandomHotspotSkewsAccesses(t *testing.T) {
+	cfg := RandomConfig{NumTxs: 20, MinSteps: 3, MaxSteps: 3, NumVars: 5, Hotspot: 2}
+	sys := Random(cfg, 99)
+	counts := map[core.Var]int{}
+	for _, tx := range sys.Txs {
+		for _, st := range tx.Steps {
+			counts[st.Var]++
+		}
+	}
+	if counts["v0"] <= counts["v4"] {
+		t.Errorf("hotspot not skewed: v0=%d v4=%d", counts["v0"], counts["v4"])
+	}
+}
+
+func TestRandomKindsRespectFractions(t *testing.T) {
+	cfg := RandomConfig{NumTxs: 40, MinSteps: 4, MaxSteps: 4, NumVars: 3, ReadFrac: 1.0, WriteFrac: 0.0}
+	sys := Random(cfg, 3)
+	for _, tx := range sys.Txs {
+		for _, st := range tx.Steps {
+			if st.Kind != core.Read {
+				t.Fatalf("ReadFrac=1 produced kind %v", st.Kind)
+			}
+		}
+	}
+}
+
+func TestTreeHelpers(t *testing.T) {
+	if NodeVar(3) != "n3" {
+		t.Error("node naming")
+	}
+	if _, ok := ParentOf(0); ok {
+		t.Error("root has a parent")
+	}
+	p, ok := ParentOf(4)
+	if !ok || p != 1 {
+		t.Errorf("parent of 4 = %d", p)
+	}
+}
+
+func TestPathWorkloadAccessesRootToLeafPaths(t *testing.T) {
+	sys := PathWorkload(3, 5, 42)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range sys.Txs {
+		if len(tx.Steps) != 3 {
+			t.Fatalf("depth-3 path has %d steps", len(tx.Steps))
+		}
+		if tx.Steps[0].Var != "n0" {
+			t.Errorf("path does not start at root: %v", tx.Steps[0].Var)
+		}
+		// Each subsequent node must be a child of the previous.
+		prev := 0
+		for _, st := range tx.Steps[1:] {
+			var n int
+			if _, err := fmt.Sscanf(string(st.Var), "n%d", &n); err != nil {
+				t.Fatal(err)
+			}
+			p, _ := ParentOf(n)
+			if p != prev {
+				t.Errorf("node %d does not descend from %d", n, prev)
+			}
+			prev = n
+		}
+	}
+}

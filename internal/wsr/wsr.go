@@ -1,0 +1,184 @@
+// Package wsr implements weak serializability (Section 4.3 of Kung &
+// Papadimitriou 1979).
+//
+// A schedule h is weakly serializable — h ∈ WSR(T) — if, starting from any
+// state E, executing h ends in a state achievable by some concatenation of
+// transactions (possibly with repetitions and omissions of transactions)
+// also starting from E. SR(T) ⊆ WSR(T); Theorem 4 states that the weak
+// serialization scheduler (fixpoint WSR(T)) is optimal among all schedulers
+// using all information except the integrity constraints.
+//
+// The definition quantifies over all states E and over all finite
+// concatenations. This package decides membership over (i) a finite,
+// caller-extensible set of probe states and (ii) concatenations up to a
+// bounded length. For the algebraic workloads in this repository, whose
+// step functions are affine, agreement on the default probe set implies
+// agreement everywhere; the bound on concatenation length is documented per
+// experiment.
+package wsr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optcc/internal/core"
+)
+
+// Options configures a Checker.
+type Options struct {
+	// MaxConcat bounds the length (number of transaction executions) of
+	// the concatenations searched. Zero means NumTxs + 2.
+	MaxConcat int
+	// States are the probe states E. Empty means DefaultStates(sys).
+	States []core.DB
+}
+
+// DefaultStates returns the standard probe set for a system: the IC's
+// consistent initial states, the all-zero and all-one states, and a small
+// deterministic spread of pseudo-random states. Weak serializability
+// quantifies over arbitrary states, not just consistent ones, so the probe
+// set deliberately exceeds the IC generator.
+func DefaultStates(sys *core.System) []core.DB {
+	vars := sys.Vars()
+	var out []core.DB
+	out = append(out, sys.InitialStates()...)
+	zero, one := core.DB{}, core.DB{}
+	for _, v := range vars {
+		zero[v] = 0
+		one[v] = 1
+	}
+	out = append(out, zero, one)
+	rng := rand.New(rand.NewSource(1979))
+	for k := 0; k < 6; k++ {
+		db := core.DB{}
+		for _, v := range vars {
+			db[v] = core.Value(rng.Intn(17) - 5)
+		}
+		out = append(out, db)
+	}
+	// Deduplicate by canonical string.
+	seen := map[string]bool{}
+	var uniq []core.DB
+	for _, db := range out {
+		k := db.String()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, db)
+		}
+	}
+	return uniq
+}
+
+// Checker decides WSR(T) membership for one executable system, caching the
+// set of serially achievable final states from every probe state.
+type Checker struct {
+	sys       *core.System
+	maxConcat int
+	states    []core.DB
+	// achievable[i] maps a final-state key to the witnessing transaction
+	// sequence, for probe state i.
+	achievable []map[string][]int
+}
+
+// NewChecker prepares a checker. The system must be executable (every
+// non-Read step interpreted).
+func NewChecker(sys *core.System, opts Options) (*Checker, error) {
+	if !sys.Executable() {
+		return nil, fmt.Errorf("wsr: system %q is not executable; weak serializability needs the interpretations", sys.Name)
+	}
+	maxConcat := opts.MaxConcat
+	if maxConcat <= 0 {
+		maxConcat = sys.NumTxs() + 2
+	}
+	states := opts.States
+	if len(states) == 0 {
+		states = DefaultStates(sys)
+	}
+	c := &Checker{sys: sys, maxConcat: maxConcat, states: states}
+	for _, e := range states {
+		reach, err := c.reachable(e)
+		if err != nil {
+			return nil, err
+		}
+		c.achievable = append(c.achievable, reach)
+	}
+	return c, nil
+}
+
+// reachable computes, by breadth-first search over distinct states, every
+// database state achievable from e by a concatenation of at most maxConcat
+// transactions (the empty concatenation included), keyed by canonical
+// state string and mapped to the first (shortest) witnessing sequence.
+func (c *Checker) reachable(e core.DB) (map[string][]int, error) {
+	type node struct {
+		db  core.DB
+		seq []int
+	}
+	start := e.Clone()
+	for _, v := range c.sys.Vars() {
+		if _, ok := start[v]; !ok {
+			start[v] = 0
+		}
+	}
+	out := map[string][]int{start.String(): {}}
+	frontier := []node{{db: start, seq: nil}}
+	for depth := 0; depth < c.maxConcat; depth++ {
+		var next []node
+		for _, nd := range frontier {
+			for ti := 0; ti < c.sys.NumTxs(); ti++ {
+				got, err := core.ExecSerialOrder(c.sys, []int{ti}, nd.db)
+				if err != nil {
+					return nil, err
+				}
+				k := got.String()
+				if _, ok := out[k]; ok {
+					continue
+				}
+				seq := append(append([]int(nil), nd.seq...), ti)
+				out[k] = seq
+				next = append(next, node{db: got, seq: seq})
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// States returns the probe states in use.
+func (c *Checker) States() []core.DB { return c.states }
+
+// Weak reports whether h ∈ WSR(T) over the probe set, and when it is,
+// returns for the first probe state the witnessing transaction sequence.
+func (c *Checker) Weak(h core.Schedule) (bool, []int, error) {
+	if !h.Legal(c.sys.Format()) {
+		return false, nil, fmt.Errorf("wsr: schedule %v not legal for format %v", h, c.sys.Format())
+	}
+	var witness []int
+	for i, e := range c.states {
+		final, err := core.Exec(c.sys, h, e)
+		if err != nil {
+			return false, nil, err
+		}
+		seq, ok := c.achievable[i][final.String()]
+		if !ok {
+			return false, nil, nil
+		}
+		if i == 0 {
+			witness = seq
+		}
+	}
+	return true, witness, nil
+}
+
+// Weak is a convenience wrapper constructing a one-shot checker.
+func Weak(sys *core.System, h core.Schedule, opts Options) (bool, error) {
+	c, err := NewChecker(sys, opts)
+	if err != nil {
+		return false, err
+	}
+	ok, _, err := c.Weak(h)
+	return ok, err
+}

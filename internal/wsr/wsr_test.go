@@ -1,0 +1,250 @@
+package wsr
+
+import (
+	"testing"
+
+	"optcc/internal/core"
+	"optcc/internal/herbrand"
+	"optcc/internal/schedule"
+)
+
+// figure1 is the interpreted transaction system of Figure 1:
+// T1 = (x←x+1, x←2x), T2 = (x←x+1).
+func figure1() *core.System {
+	last := func(l []core.Value) core.Value { return l[len(l)-1] }
+	return (&core.System{
+		Name: "figure1",
+		Txs: []core.Transaction{
+			{Name: "T1", Steps: []core.Step{
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return 2 * last(l) }},
+			}},
+			{Name: "T2", Steps: []core.Step{
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+			}},
+		},
+	}).Normalize()
+}
+
+// oddOffset is a system with a history outside WSR: T1 = (x←x+1, x←x+1),
+// T2 = (x←2x). The interleaving (T11, T21, T12) yields 2x+3, which no
+// concatenation of (+2) and (×2) can produce.
+func oddOffset() *core.System {
+	last := func(l []core.Value) core.Value { return l[len(l)-1] }
+	return (&core.System{
+		Name: "oddoffset",
+		Txs: []core.Transaction{
+			{Name: "T1", Steps: []core.Step{
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+			}},
+			{Name: "T2", Steps: []core.Step{
+				{Var: "x", Kind: core.Update, Fn: func(l []core.Value) core.Value { return 2 * last(l) }},
+			}},
+		},
+	}).Normalize()
+}
+
+func TestFigure1HistoryIsWeaklySerializable(t *testing.T) {
+	sys := figure1()
+	c, err := NewChecker(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	ok, witness, err := c.Weak(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Figure 1 history not in WSR; the paper shows it equals the serial history (T21, T11, T12)")
+	}
+	// Witness from the first probe state should be the serial order T2;T1.
+	if len(witness) != 2 || witness[0] != 1 || witness[1] != 0 {
+		t.Errorf("witness = %v, want [1 0]", witness)
+	}
+}
+
+func TestFigure1HistoryNotHerbrandSerializable(t *testing.T) {
+	// Sanity: the same history is NOT in SR(T) — this is exactly the gap
+	// between Theorems 3 and 4.
+	sys := figure1()
+	hc, err := herbrand.NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	sr, _, err := hc.Serializable(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr {
+		t.Error("Figure 1 history unexpectedly in SR")
+	}
+}
+
+func TestOddOffsetHistoryNotWeaklySerializable(t *testing.T) {
+	sys := oddOffset()
+	c, err := NewChecker(sys, Options{MaxConcat: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := core.Schedule{{Tx: 0, Idx: 0}, {Tx: 1, Idx: 0}, {Tx: 0, Idx: 1}}
+	ok, _, err := c.Weak(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("2x+3 history judged weakly serializable")
+	}
+}
+
+func TestSerialSchedulesAlwaysWeak(t *testing.T) {
+	for _, sys := range []*core.System{figure1(), oddOffset()} {
+		c, err := NewChecker(sys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range schedule.Serials(sys.Format()) {
+			ok, _, err := c.Weak(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("system %s: serial %v not weakly serializable", sys.Name, h)
+			}
+		}
+	}
+}
+
+// SR ⊆ WSR on the Figure 1 system: every Herbrand-serializable schedule is
+// weakly serializable.
+func TestSRSubsetOfWSR(t *testing.T) {
+	sys := figure1()
+	hc, err := herbrand.NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := NewChecker(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		sr, _, err := hc.Serializable(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr {
+			weak, _, err := wc.Weak(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !weak {
+				t.Errorf("%v in SR but not WSR", h)
+			}
+		}
+		return true
+	})
+}
+
+func TestWSRStrictlyLargerThanSROnFigure1(t *testing.T) {
+	sys := figure1()
+	hc, err := herbrand.NewChecker(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := NewChecker(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srN, wsrN, total := 0, 0, 0
+	schedule.Enumerate(sys.Format(), func(h core.Schedule) bool {
+		total++
+		if sr, _, _ := hc.Serializable(h); sr {
+			srN++
+		}
+		if weak, _, _ := wc.Weak(h); weak {
+			wsrN++
+		}
+		return true
+	})
+	if total != 3 {
+		t.Fatalf("|H| = %d, want 3 for format (2,1)", total)
+	}
+	if !(srN < wsrN) {
+		t.Errorf("SR=%d, WSR=%d; want SR < WSR on Figure 1", srN, wsrN)
+	}
+	if wsrN != 3 {
+		t.Errorf("WSR=%d, want all 3 schedules of Figure 1 weakly serializable", wsrN)
+	}
+}
+
+func TestCheckerRejectsUninterpretedSystems(t *testing.T) {
+	syntactic := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Update}}}},
+	}).Normalize()
+	if _, err := NewChecker(syntactic, Options{}); err == nil {
+		t.Error("checker accepted uninterpreted system")
+	}
+}
+
+func TestWeakRejectsIllegalSchedules(t *testing.T) {
+	c, err := NewChecker(figure1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Weak(core.Schedule{{Tx: 0, Idx: 1}}); err == nil {
+		t.Error("illegal schedule accepted")
+	}
+}
+
+func TestDefaultStatesCoverICAndExtremes(t *testing.T) {
+	sys := figure1()
+	states := DefaultStates(sys)
+	if len(states) < 3 {
+		t.Fatalf("only %d probe states", len(states))
+	}
+	seen := map[string]bool{}
+	for _, s := range states {
+		k := s.String()
+		if seen[k] {
+			t.Errorf("duplicate probe state %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestWeakOneShotWrapper(t *testing.T) {
+	sys := figure1()
+	ok, err := Weak(sys, core.SerialSchedule(sys.Format(), []int{0, 1}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("serial schedule rejected by wrapper")
+	}
+}
+
+func TestEmptyConcatenationCounts(t *testing.T) {
+	// A system where one transaction is the identity: executing it equals
+	// the empty concatenation.
+	id := (&core.System{
+		Txs: []core.Transaction{
+			{Steps: []core.Step{{Var: "x", Kind: core.Read}}},
+		},
+	}).Normalize()
+	c, err := NewChecker(id, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, witness, err := c.Weak(core.Schedule{{Tx: 0, Idx: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("identity schedule not weakly serializable")
+	}
+	if len(witness) != 0 {
+		t.Errorf("witness = %v, want the empty concatenation", witness)
+	}
+}
