@@ -7,6 +7,7 @@ package optcc
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -270,6 +271,39 @@ func BenchmarkSchedulerDecisionLatency(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkShardedVsCentral is the scalability acceptance benchmark: the
+// same low-contention multi-user workload through the centralized
+// single-goroutine scheduler versus the sharded concurrent engine at 1, 4
+// and 16 shards. Sharded throughput should sit strictly above the central
+// baseline (and rise with shard count) because users only contend on the
+// dispatch loops and lock-table shards their steps touch.
+func BenchmarkShardedVsCentral(b *testing.B) {
+	const jobs = 64
+	template := workload.Random(workload.RandomConfig{
+		NumTxs: jobs, MinSteps: 3, MaxSteps: 3, NumVars: 8 * jobs}, 1979)
+	run := func(b *testing.B, mk func() online.Scheduler) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			inst := sim.Instantiate(template, jobs)
+			m, err := sim.Run(sim.Config{System: inst, Sched: mk(), Users: 16, Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Committed != jobs {
+				b.Fatalf("committed %d of %d", m.Committed, jobs)
+			}
+		}
+	}
+	b.Run("central", func(b *testing.B) {
+		run(b, func() online.Scheduler { return online.NewStrict2PL(lockmgr.WoundWait) })
+	})
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			run(b, func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.WoundWait, shards) })
 		})
 	}
 }

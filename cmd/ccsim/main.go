@@ -6,6 +6,11 @@
 //
 //	ccsim -workload banking -sched 2pl-woundwait -jobs 64 -users 8
 //	ccsim -workload tree -sched treelock -jobs 32 -users 8 -exec 200us
+//	ccsim -workload random -sched 2pl-woundwait -shards 16 -users 16
+//
+// -shards 0 (default) runs the classic centralized scheduler goroutine;
+// -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
+// hash-partitioned scheduler state.
 package main
 
 import (
@@ -22,33 +27,55 @@ import (
 	"optcc/internal/workload"
 )
 
-func schedulerByName(name string) (online.Scheduler, bool) {
+// schedulerFactory returns a constructor for the named scheduler plus, for
+// the 2PL family, the lock policy (so -shards can pick the natively sharded
+// implementation over the generic wrapper).
+func schedulerFactory(name string) (factory func() online.Scheduler, policy lockmgr.Policy, is2PL, ok bool) {
 	switch name {
 	case "serial":
-		return online.NewSerial(), true
+		return func() online.Scheduler { return online.NewSerial() }, 0, false, true
 	case "2pl", "2pl-detect":
-		return online.NewStrict2PL(lockmgr.Detect), true
+		return func() online.Scheduler { return online.NewStrict2PL(lockmgr.Detect) }, lockmgr.Detect, true, true
 	case "2pl-nowait":
-		return online.NewStrict2PL(lockmgr.NoWait), true
+		return func() online.Scheduler { return online.NewStrict2PL(lockmgr.NoWait) }, lockmgr.NoWait, true, true
 	case "2pl-waitdie":
-		return online.NewStrict2PL(lockmgr.WaitDie), true
+		return func() online.Scheduler { return online.NewStrict2PL(lockmgr.WaitDie) }, lockmgr.WaitDie, true, true
 	case "2pl-woundwait":
-		return online.NewStrict2PL(lockmgr.WoundWait), true
+		return func() online.Scheduler { return online.NewStrict2PL(lockmgr.WoundWait) }, lockmgr.WoundWait, true, true
 	case "2pl-conservative":
-		return online.NewConservative2PL(), true
+		return func() online.Scheduler { return online.NewConservative2PL() }, 0, false, true
 	case "sgt":
-		return online.NewSGTAborting(), true
+		return func() online.Scheduler { return online.NewSGTAborting() }, 0, false, true
 	case "to":
-		return online.NewTO(), true
+		return func() online.Scheduler { return online.NewTO() }, 0, false, true
 	case "to-thomas":
-		return online.NewTOThomas(), true
+		return func() online.Scheduler { return online.NewTOThomas() }, 0, false, true
 	case "occ":
-		return online.NewOCC(), true
+		return func() online.Scheduler { return online.NewOCC() }, 0, false, true
 	case "treelock":
-		return online.NewTreeLock(), true
+		return func() online.Scheduler { return online.NewTreeLock() }, 0, false, true
 	default:
+		return nil, 0, false, false
+	}
+}
+
+// schedulerByName builds the scheduler. shards == 0 keeps the classic
+// single-threaded scheduler behind the centralized scheduler goroutine;
+// shards >= 1 selects the concurrent engine with per-shard dispatch loops —
+// natively sharded strict 2PL for the 2PL family, the Sharded combinator
+// (with the cross-shard ordering rail) for everything else.
+func schedulerByName(name string, shards int) (online.Scheduler, bool) {
+	factory, policy, is2PL, ok := schedulerFactory(name)
+	if !ok {
 		return nil, false
 	}
+	if shards <= 0 {
+		return factory(), true
+	}
+	if is2PL {
+		return online.NewConcurrentStrict2PL(policy, shards), true
+	}
+	return online.NewSharded(shards, factory), true
 }
 
 func workloadByName(name string, seed int64) (*core.System, bool) {
@@ -74,13 +101,14 @@ func workloadByName(name string, seed int64) (*core.System, bool) {
 
 func main() {
 	var (
-		wl    = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|tree|random")
-		sc    = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|occ|treelock")
-		jobs  = flag.Int("jobs", 32, "transaction instances to run")
-		users = flag.Int("users", 8, "concurrent user goroutines")
-		exec  = flag.Duration("exec", 100*time.Microsecond, "simulated per-step execution time")
-		think = flag.Duration("think", 0, "max per-step user think time")
-		seed  = flag.Int64("seed", 1979, "random seed")
+		wl     = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|tree|random")
+		sc     = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|occ|treelock")
+		jobs   = flag.Int("jobs", 32, "transaction instances to run")
+		users  = flag.Int("users", 8, "concurrent user goroutines")
+		shards = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
+		exec   = flag.Duration("exec", 100*time.Microsecond, "simulated per-step execution time")
+		think  = flag.Duration("think", 0, "max per-step user think time")
+		seed   = flag.Int64("seed", 1979, "random seed")
 	)
 	flag.Parse()
 
@@ -89,7 +117,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccsim: unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
-	sched, ok := schedulerByName(*sc)
+	sched, ok := schedulerByName(*sc, *shards)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ccsim: unknown scheduler %q\n", *sc)
 		os.Exit(2)

@@ -12,11 +12,14 @@
 //	internal/wsr         weak serializability WSR(T)             (Theorem 4)
 //	internal/info        information levels and optimal schedulers (Theorems 1–2)
 //	internal/fixpoint    hierarchy classification and |P|/|H|
-//	internal/lockmgr     lock table, deadlock policies
+//	internal/lockmgr     lock tables (monolithic + sharded with lock-free fast path), deadlock policies
 //	internal/locking     locking policies: 2PL, 2PL′, selective; LRS (Section 5)
 //	internal/geometry    progress space, blocks, deadlock region, homotopy (Section 5.3)
-//	internal/online      online schedulers: serial, 2PL variants, SGT, TO, OCC, tree locking
-//	internal/sim         goroutine-per-user simulator of the Section 6 environment
+//	internal/online      online schedulers: serial, 2PL variants, SGT, TO, OCC, tree locking;
+//	                     the concurrent contract (ConcurrentScheduler, Mutexed, Sharded,
+//	                     ConcurrentStrict2PL) with the cross-shard ordering rail
+//	internal/sim         goroutine-per-user simulator of the Section 6 environment:
+//	                     centralized scheduler goroutine or per-shard dispatch loops
 //	internal/workload    canonical systems (banking, Figure 1, …) and generators
 //	internal/experiments every experiment of DESIGN.md / EXPERIMENTS.md
 //

@@ -1,0 +1,3 @@
+module optcc
+
+go 1.24

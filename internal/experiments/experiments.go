@@ -86,8 +86,9 @@ func All() (map[string]Runner, []string) {
 		"E5": E5PolicyComparison,
 		"E6": E6TreeLocking,
 		"E7": E7DeadlockPolicies,
+		"E8": E8ShardScalability,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
 	return m, order
 }
 
@@ -702,6 +703,71 @@ func E7DeadlockPolicies() (*Result, error) {
 		t.AddRow(policy.String(), m.Committed, m.Aborts, m.DeadlockBreaks, m.WaitNs.N(), m.WaitNs.Mean()/1e3, m.Throughput)
 	}
 	return &Result{ID: "E7", Title: "Ablation — deadlock handling under strict 2PL", Tables: []*report.Table{t}}, nil
+}
+
+// E8Config parameterizes the shard-scalability experiment; cmd/ccbench
+// overrides the sweeps via its -shards and -users flags.
+var E8Config = struct {
+	Jobs   int
+	Users  []int
+	Shards []int
+}{Jobs: 32, Users: []int{4, 8}, Shards: []int{1, 4, 16}}
+
+// E8ShardScalability measures the sharded scheduling runtime: throughput of
+// centralized strict 2PL (single scheduler goroutine) against the sharded
+// engine (per-shard dispatch loops over the partitioned lock table) across
+// shard count × user count × contention regime.
+func E8ShardScalability() (*Result, error) {
+	return e8WithScale(E8Config.Jobs, E8Config.Users, E8Config.Shards)
+}
+
+// E8Quick is a smaller variant for tests.
+func E8Quick() (*Result, error) { return e8WithScale(12, []int{4}, []int{1, 4}) }
+
+func e8WithScale(jobs int, userSweep, shardSweep []int) (*Result, error) {
+	res := &Result{
+		ID:    "E8",
+		Title: "Sharded scheduling runtime — throughput vs shard count × users × contention",
+		Text: "central = single scheduler goroutine (Section 6 funnel); " +
+			"sharded(n) = per-shard dispatch loops over an n-shard lock table.",
+	}
+	regimes := []struct {
+		name     string
+		template *core.System
+	}{
+		{"low contention", workload.Random(workload.RandomConfig{
+			NumTxs: jobs, MinSteps: 3, MaxSteps: 3, NumVars: 8 * jobs}, 1979)},
+		{"high contention (hotspot)", workload.Random(workload.RandomConfig{
+			NumTxs: jobs, MinSteps: 3, MaxSteps: 3, NumVars: 4, Hotspot: 1}, 1979)},
+	}
+	for _, reg := range regimes {
+		for _, users := range userSweep {
+			t := report.NewTable(fmt.Sprintf("%s, %d jobs, %d users", reg.name, jobs, users),
+				"scheduler", "committed", "aborts", "deadlock-breaks", "mean-wait-µs", "throughput-tx/s")
+			scheds := []online.Scheduler{online.NewStrict2PL(lockmgr.WoundWait)}
+			for _, s := range shardSweep {
+				scheds = append(scheds, online.NewConcurrentStrict2PL(lockmgr.WoundWait, s))
+			}
+			for _, sched := range scheds {
+				inst := sim.Instantiate(reg.template, jobs)
+				m, err := sim.Run(sim.Config{System: inst, Sched: sched, Users: users, Seed: 1979})
+				if err != nil {
+					return nil, err
+				}
+				if m.Committed != jobs {
+					return nil, fmt.Errorf("E8: %s committed %d of %d", sched.Name(), m.Committed, jobs)
+				}
+				name := sched.Name()
+				if _, ok := sched.(online.ConcurrentScheduler); !ok {
+					name = "central/" + name
+				}
+				t.AddRow(name, m.Committed, m.Aborts, m.DeadlockBreaks,
+					m.WaitNs.Mean()/1e3, m.Throughput)
+			}
+			res.Tables = append(res.Tables, t)
+		}
+	}
+	return res, nil
 }
 
 // RunAll executes every experiment in order and returns the results.

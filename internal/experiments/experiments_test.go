@@ -14,8 +14,8 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
 	}
 	for _, id := range order {
-		if id == "E4" {
-			continue // covered by TestE4Quick to keep the suite fast
+		if id == "E4" || id == "E8" {
+			continue // covered by TestE4Quick/TestE8Quick to keep the suite fast
 		}
 		r, err := m[id]()
 		if err != nil {
@@ -45,9 +45,25 @@ func TestE4Quick(t *testing.T) {
 	}
 }
 
+func TestE8Quick(t *testing.T) {
+	r, err := E8Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E8 quick tables = %d", len(r.Tables))
+	}
+	// Each table compares the central baseline with every sharded config.
+	for _, tbl := range r.Tables {
+		if got := strings.Count(tbl.String(), "2pl"); got < 3 {
+			t.Errorf("E8 table missing rows:\n%s", tbl.String())
+		}
+	}
+}
+
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

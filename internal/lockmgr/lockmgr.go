@@ -165,6 +165,31 @@ func (t *Table) Register(tx TxID) {
 	}
 }
 
+// RegisterAt registers the transaction with an externally assigned birth
+// timestamp. A sharded table uses it to keep wound-wait/wait-die priorities
+// consistent across its per-shard tables, which draw from one global clock.
+func (t *Table) RegisterAt(tx TxID, birth int64) {
+	if _, ok := t.birth[tx]; !ok {
+		t.birth[tx] = birth
+		if birth > t.clock {
+			t.clock = birth
+		}
+	}
+}
+
+// AdoptHolder installs tx as a holder of v without going through Acquire.
+// It is the escalation hook of the sharded table's lock-free fast path: when
+// a contended variable leaves the fast regime, its current fast-path owner
+// is adopted into the table so queueing and deadlock handling see it.
+func (t *Table) AdoptHolder(tx TxID, v core.Var, m Mode) {
+	e := t.entryFor(v)
+	e.holders[tx] = m
+	if t.held[tx] == nil {
+		t.held[tx] = map[core.Var]Mode{}
+	}
+	t.held[tx][v] = m
+}
+
 // older reports whether a is older (higher priority) than b.
 func (t *Table) older(a, b TxID) bool { return t.birth[a] < t.birth[b] }
 
@@ -436,7 +461,13 @@ func mergeSorted(a, b []TxID) []TxID {
 // DetectDeadlock searches the waits-for graph for a cycle and returns one
 // (as an ordered list of transactions) if found.
 func (t *Table) DetectDeadlock() ([]TxID, bool) {
-	g := t.WaitsFor()
+	return FindCycle(t.WaitsFor())
+}
+
+// FindCycle searches an arbitrary waits-for graph for a cycle and returns
+// one (as an ordered list of transactions) if found. The sharded table uses
+// it on the union of its per-shard graphs, where cross-shard cycles live.
+func FindCycle(g map[TxID][]TxID) ([]TxID, bool) {
 	const (
 		white = 0
 		gray  = 1

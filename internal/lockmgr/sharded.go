@@ -1,0 +1,350 @@
+package lockmgr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"optcc/internal/core"
+)
+
+// ShardedTable is a concurrent lock table: variables are hash-partitioned
+// across per-shard Tables, each guarded by its own mutex, so lock traffic on
+// independent variables never serializes. Uncontended exclusive locks take a
+// lock-free fast path (one CAS, no mutex); the first contended or shared
+// access to a variable escalates it permanently into its shard's Table,
+// which supplies queueing, upgrades, and the deadlock policies.
+//
+// Birth timestamps come from one global atomic clock, so wound-wait and
+// wait-die age priorities are consistent across shards. The waits-for graph
+// and deadlock detection operate on the union of the per-shard graphs,
+// where cross-shard cycles live (each edge is intra-shard because every
+// variable belongs to exactly one shard, but a cycle may thread through
+// several shards via multi-shard transactions).
+//
+// Concurrency contract: distinct transactions may drive the table from
+// distinct goroutines concurrently; operations on behalf of one transaction
+// must not overlap with each other (the same per-transaction discipline the
+// schedulers and simulator already follow).
+type ShardedTable struct {
+	policy Policy
+	shards []tableShard
+	clock  atomic.Int64
+	birth  sync.Map // TxID → int64
+	slots  sync.Map // core.Var → *fastSlot
+	fast   sync.Map // TxID → *fastSet
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	t  *Table
+}
+
+// fastSlot is the lock-free fast-path state of one variable.
+// state encodings: 0 = free (fast regime), tx+1 = exclusively held by tx
+// (fast regime), escalated = permanently in the shard Table's slow path.
+type fastSlot struct {
+	state atomic.Int64
+}
+
+const escalated = -1
+
+func encTx(tx TxID) int64 { return int64(tx) + 1 }
+func decTx(st int64) TxID { return TxID(st - 1) }
+
+// fastSet tracks the variables a transaction holds via the fast path, so
+// ReleaseAll can find them.
+type fastSet struct {
+	mu   sync.Mutex
+	vars map[core.Var]bool
+}
+
+// NewShardedTable returns a sharded lock table with the given deadlock
+// policy and shard count (minimum 1).
+func NewShardedTable(policy Policy, shards int) *ShardedTable {
+	if shards < 1 {
+		shards = 1
+	}
+	st := &ShardedTable{policy: policy, shards: make([]tableShard, shards)}
+	for i := range st.shards {
+		st.shards[i].t = NewTable(policy)
+	}
+	return st
+}
+
+// Policy returns the table's deadlock policy.
+func (s *ShardedTable) Policy() Policy { return s.policy }
+
+// NumShards returns the shard count.
+func (s *ShardedTable) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard owning variable v.
+func (s *ShardedTable) ShardOf(v core.Var) int { return ShardOfVar(v, len(s.shards)) }
+
+// ShardOfVar hash-partitions a variable across n shards: inlined FNV-1a so
+// the hot paths (every Acquire/Release and every dispatch route) allocate
+// nothing. This is THE partition function — online's Sharded combinator
+// uses it too, so dispatch routing and lock-shard ownership always agree.
+func ShardOfVar(v core.Var, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(v); i++ {
+		h ^= uint32(v[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Register assigns the transaction its birth timestamp from the global
+// clock and registers it with every shard. Re-registering keeps the
+// original timestamp, preserving wound-wait/wait-die progress guarantees.
+func (s *ShardedTable) Register(tx TxID) {
+	b, loaded := s.birth.Load(tx)
+	if !loaded {
+		b, _ = s.birth.LoadOrStore(tx, s.clock.Add(1))
+	}
+	birth := b.(int64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.t.RegisterAt(tx, birth)
+		sh.mu.Unlock()
+	}
+}
+
+func (s *ShardedTable) slot(v core.Var) *fastSlot {
+	if sl, ok := s.slots.Load(v); ok {
+		return sl.(*fastSlot)
+	}
+	sl, _ := s.slots.LoadOrStore(v, &fastSlot{})
+	return sl.(*fastSlot)
+}
+
+func (s *ShardedTable) fastSetOf(tx TxID) *fastSet {
+	if fs, ok := s.fast.Load(tx); ok {
+		return fs.(*fastSet)
+	}
+	fs, _ := s.fast.LoadOrStore(tx, &fastSet{vars: map[core.Var]bool{}})
+	return fs.(*fastSet)
+}
+
+// escalate moves v out of the fast regime into the shard Table. Caller
+// holds the shard mutex. If a fast-path owner loses the race, it is adopted
+// into the Table so queueing and deadlock handling see it; its own release
+// will then go through the slow path (the fast-release CAS fails).
+func (s *ShardedTable) escalate(sl *fastSlot, t *Table, v core.Var) {
+	for {
+		st := sl.state.Load()
+		if st == escalated {
+			return
+		}
+		if sl.state.CompareAndSwap(st, escalated) {
+			if st > 0 {
+				t.AdoptHolder(decTx(st), v, Exclusive)
+			}
+			return
+		}
+	}
+}
+
+// Acquire requests a lock on v in mode m for tx. Exclusive requests on a
+// variable still in the fast regime are a single CAS; everything else goes
+// through the owning shard's Table under its mutex.
+func (s *ShardedTable) Acquire(tx TxID, v core.Var, m Mode) Result {
+	if _, ok := s.birth.Load(tx); !ok {
+		s.Register(tx)
+	}
+	sl := s.slot(v)
+	if m == Exclusive {
+		st := sl.state.Load()
+		if st == encTx(tx) {
+			return Result{Status: Granted} // reentrant fast-path hold
+		}
+		if st == 0 && sl.state.CompareAndSwap(0, encTx(tx)) {
+			fs := s.fastSetOf(tx)
+			fs.mu.Lock()
+			fs.vars[v] = true
+			fs.mu.Unlock()
+			return Result{Status: Granted}
+		}
+	}
+	sh := &s.shards[s.ShardOf(v)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.escalate(sl, sh.t, v)
+	return sh.t.Acquire(tx, v, m)
+}
+
+// Release releases tx's lock on v and returns any requests granted as a
+// consequence (always nil on the fast path: an uncontended variable has no
+// waiters by construction).
+func (s *ShardedTable) Release(tx TxID, v core.Var) []Grant {
+	sl := s.slot(v)
+	if sl.state.CompareAndSwap(encTx(tx), 0) {
+		s.dropFast(tx, v)
+		return nil
+	}
+	s.dropFast(tx, v)
+	sh := &s.shards[s.ShardOf(v)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.t.Release(tx, v)
+}
+
+func (s *ShardedTable) dropFast(tx TxID, v core.Var) {
+	if fs, ok := s.fast.Load(tx); ok {
+		set := fs.(*fastSet)
+		set.mu.Lock()
+		delete(set.vars, v)
+		set.mu.Unlock()
+	}
+}
+
+// ReleaseAll releases every lock held by tx — fast-path holds by CAS,
+// everything else through the per-shard tables — and removes it from every
+// wait queue. It returns all requests granted as a consequence.
+func (s *ShardedTable) ReleaseAll(tx TxID) []Grant {
+	if fs, ok := s.fast.Load(tx); ok {
+		set := fs.(*fastSet)
+		set.mu.Lock()
+		for v := range set.vars {
+			// If the CAS fails the variable was escalated and the hold was
+			// adopted into its shard Table; the sweep below releases it.
+			s.slot(v).state.CompareAndSwap(encTx(tx), 0)
+			delete(set.vars, v)
+		}
+		set.mu.Unlock()
+	}
+	var grants []Grant
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		grants = append(grants, sh.t.ReleaseAll(tx)...)
+		sh.mu.Unlock()
+	}
+	return grants
+}
+
+// Holds reports the mode in which tx holds v, if any.
+func (s *ShardedTable) Holds(tx TxID, v core.Var) (Mode, bool) {
+	if s.slot(v).state.Load() == encTx(tx) {
+		return Exclusive, true
+	}
+	sh := &s.shards[s.ShardOf(v)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.t.Holds(tx, v)
+}
+
+// HeldBy returns the current holders of v with their modes.
+func (s *ShardedTable) HeldBy(v core.Var) map[TxID]Mode {
+	if st := s.slot(v).state.Load(); st > 0 {
+		return map[TxID]Mode{decTx(st): Exclusive}
+	}
+	sh := &s.shards[s.ShardOf(v)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.t.HeldBy(v)
+}
+
+// QueueLen returns the number of waiters on v (zero while v is in the fast
+// regime: contention is what ends it).
+func (s *ShardedTable) QueueLen(v core.Var) int {
+	if s.slot(v).state.Load() != escalated {
+		return 0
+	}
+	sh := &s.shards[s.ShardOf(v)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.t.QueueLen(v)
+}
+
+// WaitsFor returns the global waits-for graph: the union of the per-shard
+// graphs. Fast-regime variables contribute nothing (no waiters).
+func (s *ShardedTable) WaitsFor() map[TxID][]TxID {
+	out := map[TxID][]TxID{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for w, blockers := range sh.t.WaitsFor() {
+			out[w] = mergeSorted(out[w], blockers)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// DetectDeadlock searches the global waits-for graph for a cycle, catching
+// cross-shard cycles no single shard can see.
+func (s *ShardedTable) DetectDeadlock() ([]TxID, bool) {
+	return FindCycle(s.WaitsFor())
+}
+
+// ChooseVictim returns the youngest transaction on the cycle.
+func (s *ShardedTable) ChooseVictim(cycle []TxID) TxID {
+	victim := cycle[0]
+	for _, tx := range cycle[1:] {
+		if s.birthOf(tx) > s.birthOf(victim) {
+			victim = tx
+		}
+	}
+	return victim
+}
+
+func (s *ShardedTable) birthOf(tx TxID) int64 {
+	if b, ok := s.birth.Load(tx); ok {
+		return b.(int64)
+	}
+	return 0
+}
+
+// Forget removes per-transaction bookkeeping after everything is released;
+// the birth timestamp is retained so restarts keep their age.
+func (s *ShardedTable) Forget(tx TxID) {
+	s.fast.Delete(tx)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.t.Forget(tx)
+		sh.mu.Unlock()
+	}
+}
+
+// Invariant checks every shard's safety invariants plus the fast path's:
+// a fast-held variable must not also have holders in its shard Table.
+func (s *ShardedTable) Invariant() error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.t.Invariant()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	var bad error
+	s.slots.Range(func(k, v any) bool {
+		if v.(*fastSlot).state.Load() > 0 {
+			// A fast-held variable must have no holders in its shard Table
+			// (its entire lock state lives in the slot until escalation).
+			vr := k.(core.Var)
+			sh := &s.shards[s.ShardOf(vr)]
+			sh.mu.Lock()
+			held := sh.t.HeldBy(vr)
+			sh.mu.Unlock()
+			if len(held) != 0 {
+				bad = &fastInvariantError{v: vr}
+				return false
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+type fastInvariantError struct{ v core.Var }
+
+func (e *fastInvariantError) Error() string {
+	return "sharded table: fast-path invariant violated on " + string(e.v)
+}

@@ -1,0 +1,499 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"optcc/internal/conflict"
+	"optcc/internal/core"
+	"optcc/internal/lockmgr"
+)
+
+// ConcurrentScheduler is a scheduler safe for concurrent use from multiple
+// dispatch goroutines. It extends the single-threaded Scheduler contract
+// (so every ConcurrentScheduler also works under the replay harness) with
+// the shard partition the runtime routes requests by: steps on variables of
+// different shards may be offered concurrently; calls on behalf of one
+// transaction must still not overlap with each other.
+type ConcurrentScheduler interface {
+	Scheduler
+	// NumShards returns the number of independent shards.
+	NumShards() int
+	// ShardOf returns the shard owning variable v. The simulator sends each
+	// step request to the dispatch loop of ShardOf(step.Var).
+	ShardOf(v core.Var) int
+}
+
+// WaitsForProvider is implemented by schedulers that can expose their
+// waits-for graph at transaction granularity; the Sharded combinator merges
+// per-shard graphs through it to detect cross-shard deadlock cycles that no
+// single shard can see.
+type WaitsForProvider interface {
+	WaitsForTxs() map[int][]int
+}
+
+// shardOfVar hash-partitions a variable across n shards. It is
+// lockmgr.ShardOfVar, the single partition function, so lock state and
+// dispatch always agree on ownership.
+func shardOfVar(v core.Var, n int) int { return lockmgr.ShardOfVar(v, n) }
+
+// Mutexed wraps a single-threaded Scheduler behind one mutex: the
+// centralized baseline of the ConcurrentScheduler contract (one shard, all
+// requests serialized). It realizes exactly the inner scheduler's fixpoint.
+type Mutexed struct {
+	mu    sync.Mutex
+	inner Scheduler
+}
+
+// NewMutexed returns the inner scheduler behind a single global mutex.
+func NewMutexed(inner Scheduler) *Mutexed { return &Mutexed{inner: inner} }
+
+// Name implements Scheduler.
+func (m *Mutexed) Name() string { return "mutexed/" + m.inner.Name() }
+
+// Begin implements Scheduler.
+func (m *Mutexed) Begin(sys *core.System) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inner.Begin(sys)
+}
+
+// Try implements Scheduler.
+func (m *Mutexed) Try(id core.StepID) Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Try(id)
+}
+
+// Commit implements Scheduler.
+func (m *Mutexed) Commit(tx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inner.Commit(tx)
+}
+
+// Abort implements Scheduler.
+func (m *Mutexed) Abort(tx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inner.Abort(tx)
+}
+
+// Victim implements Scheduler.
+func (m *Mutexed) Victim(stuck []int) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Victim(stuck)
+}
+
+// Wounded implements Scheduler.
+func (m *Mutexed) Wounded() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Wounded()
+}
+
+// NumShards implements ConcurrentScheduler.
+func (m *Mutexed) NumShards() int { return 1 }
+
+// ShardOf implements ConcurrentScheduler.
+func (m *Mutexed) ShardOf(core.Var) int { return 0 }
+
+// railNode identifies a transaction incarnation in the cross-shard rail.
+type railNode struct {
+	tx, epoch int
+}
+
+// railRec is one granted step recorded in a shard's log for conflict-edge
+// computation (conflicts are always intra-shard: a conflict needs a shared
+// variable, and every variable belongs to exactly one shard).
+type railRec struct {
+	n    railNode
+	step core.Step
+}
+
+// shardSlot is one shard of a Sharded scheduler: a shard-local
+// single-threaded scheduler plus the grant log feeding the rail.
+type shardSlot struct {
+	mu    sync.Mutex
+	inner Scheduler
+	log   []railRec
+}
+
+// Sharded partitions variables across n shard-local copies of a
+// single-threaded scheduler. Requests touch only the shard owning their
+// variable, so independent conflicts are decided in parallel.
+//
+// Cross-shard ordering rail: per-shard decisions alone cannot rule out a
+// conflict cycle threading through several shards (each edge lives inside
+// one shard, but multi-shard transactions connect them). When the system
+// spans more than one shard, the rail keeps a global transaction-level
+// conflict graph; a grant whose new edges would close a cycle is delayed
+// before the shard scheduler sees it. Edges are inserted atomically with
+// the cycle check and withdrawn if the shard scheduler rejects the step, so
+// the set of actually granted steps always stays acyclic and every complete
+// run is conflict-serializable. Cross-shard deadlocks are broken via the
+// merged waits-for view (WaitsForProvider) in Victim.
+//
+// On a single-shard system the rail is inert and every call reduces to a
+// locked delegation, so each wrapper realizes exactly the fixpoint set of
+// its single-threaded original — the replay-equivalence property the tests
+// check.
+type Sharded struct {
+	n       int
+	factory func() Scheduler
+	name    string
+
+	sys      *core.System
+	shards   []*shardSlot
+	txShards [][]int
+
+	railOn    bool
+	railMu    sync.Mutex
+	epoch     []int
+	edges     map[railNode]map[railNode]bool
+	committed map[railNode]bool
+}
+
+// NewSharded returns a combinator running one factory-built scheduler per
+// shard (minimum 1) with the cross-shard ordering rail.
+func NewSharded(shards int, factory func() Scheduler) *Sharded {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Sharded{n: shards, factory: factory}
+}
+
+// Name implements Scheduler. The inner name comes from the first shard
+// scheduler once Begin has built them (avoiding a throwaway factory call at
+// construction); before Begin, one probe instance is built and cached.
+func (s *Sharded) Name() string {
+	if s.name == "" {
+		inner := ""
+		if len(s.shards) > 0 {
+			inner = s.shards[0].inner.Name()
+		} else {
+			inner = s.factory().Name()
+		}
+		s.name = fmt.Sprintf("sharded(%d)/%s", s.n, inner)
+	}
+	return s.name
+}
+
+// NumShards implements ConcurrentScheduler.
+func (s *Sharded) NumShards() int { return s.n }
+
+// ShardOf implements ConcurrentScheduler.
+func (s *Sharded) ShardOf(v core.Var) int { return shardOfVar(v, s.n) }
+
+// Begin implements Scheduler.
+func (s *Sharded) Begin(sys *core.System) {
+	s.sys = sys
+	s.shards = make([]*shardSlot, s.n)
+	for i := range s.shards {
+		s.shards[i] = &shardSlot{inner: s.factory()}
+		s.shards[i].inner.Begin(sys)
+	}
+	if s.name == "" {
+		s.name = fmt.Sprintf("sharded(%d)/%s", s.n, s.shards[0].inner.Name())
+	}
+	used := map[int]bool{}
+	for _, v := range sys.Vars() {
+		used[s.ShardOf(v)] = true
+	}
+	s.railOn = len(used) > 1
+	s.txShards = make([][]int, sys.NumTxs())
+	for tx := range s.txShards {
+		seen := map[int]bool{}
+		for _, st := range sys.Txs[tx].Steps {
+			seen[s.ShardOf(st.Var)] = true
+		}
+		for sh := range seen {
+			s.txShards[tx] = append(s.txShards[tx], sh)
+		}
+		sort.Ints(s.txShards[tx])
+	}
+	s.epoch = make([]int, sys.NumTxs())
+	s.edges = map[railNode]map[railNode]bool{}
+	s.committed = map[railNode]bool{}
+}
+
+// reachable reports whether any node in targets is reachable from start in
+// the rail graph. Caller holds railMu.
+func (s *Sharded) reachable(start railNode, targets map[railNode]bool) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	seen := map[railNode]bool{}
+	stack := []railNode{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if targets[u] {
+			return true
+		}
+		for v := range s.edges[u] {
+			stack = append(stack, v)
+		}
+	}
+	return false
+}
+
+// reserve atomically checks that adding source→me edges keeps the rail
+// graph acyclic and inserts them, returning the edges that were new (for
+// withdrawal if the shard scheduler rejects the step) and whether the
+// reservation succeeded. Caller holds the shard mutex.
+func (s *Sharded) reserve(me railNode, sources []railNode) (added []railNode, ok bool) {
+	s.railMu.Lock()
+	defer s.railMu.Unlock()
+	targets := map[railNode]bool{}
+	for _, src := range sources {
+		if !s.edges[src][me] {
+			targets[src] = true
+		}
+	}
+	// A new edge src→me closes a cycle iff me already reaches src.
+	if s.reachable(me, targets) {
+		return nil, false
+	}
+	for src := range targets {
+		if s.edges[src] == nil {
+			s.edges[src] = map[railNode]bool{}
+		}
+		s.edges[src][me] = true
+		added = append(added, src)
+	}
+	return added, true
+}
+
+// withdraw removes provisionally inserted src→me edges after a shard-local
+// rejection.
+func (s *Sharded) withdraw(me railNode, added []railNode) {
+	s.railMu.Lock()
+	defer s.railMu.Unlock()
+	for _, src := range added {
+		delete(s.edges[src], me)
+		if len(s.edges[src]) == 0 {
+			delete(s.edges, src)
+		}
+	}
+}
+
+// Try implements Scheduler: route the step to the shard owning its
+// variable; on multi-shard systems, clear the grant with the rail first.
+func (s *Sharded) Try(id core.StepID) Decision {
+	step := s.sys.Step(id)
+	sh := s.shards[s.ShardOf(step.Var)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !s.railOn {
+		return sh.inner.Try(id)
+	}
+	s.railMu.Lock()
+	me := railNode{id.Tx, s.epoch[id.Tx]}
+	s.railMu.Unlock()
+	var sources []railNode
+	seen := map[railNode]bool{}
+	for _, rec := range sh.log {
+		if rec.n == me || seen[rec.n] {
+			continue
+		}
+		if conflict.Conflicts(rec.step, step) {
+			seen[rec.n] = true
+			sources = append(sources, rec.n)
+		}
+	}
+	added, ok := s.reserve(me, sources)
+	if !ok {
+		return Delay
+	}
+	d := sh.inner.Try(id)
+	if d == Grant {
+		sh.log = append(sh.log, railRec{n: me, step: step})
+		return Grant
+	}
+	s.withdraw(me, added)
+	return d
+}
+
+// Commit implements Scheduler: notify every shard the transaction touched,
+// then retire its rail node.
+func (s *Sharded) Commit(tx int) {
+	for _, si := range s.txShards[tx] {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		sh.inner.Commit(tx)
+		sh.mu.Unlock()
+	}
+	if !s.railOn {
+		return
+	}
+	s.railMu.Lock()
+	s.committed[railNode{tx, s.epoch[tx]}] = true
+	removed := s.prune()
+	s.railMu.Unlock()
+	s.purgeLogs(removed)
+}
+
+// Abort implements Scheduler: notify touched shards, drop the incarnation's
+// rail node and start a fresh epoch.
+func (s *Sharded) Abort(tx int) {
+	for _, si := range s.txShards[tx] {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		sh.inner.Abort(tx)
+		sh.mu.Unlock()
+	}
+	if !s.railOn {
+		return
+	}
+	s.railMu.Lock()
+	gone := railNode{tx, s.epoch[tx]}
+	s.epoch[tx]++
+	delete(s.edges, gone)
+	for _, m := range s.edges {
+		delete(m, gone)
+	}
+	delete(s.committed, gone)
+	removed := s.prune()
+	s.railMu.Unlock()
+	s.purgeLogs(append(removed, gone))
+}
+
+// prune removes committed rail nodes with no incoming edges: edges only
+// ever point from earlier grants to later ones, so such a node can never
+// rejoin a cycle. Caller holds railMu; the removed nodes' log entries must
+// be purged afterwards (without railMu held — shard mutex ordering).
+func (s *Sharded) prune() []railNode {
+	var removed []railNode
+	for {
+		indeg := map[railNode]int{}
+		for _, tos := range s.edges {
+			for to := range tos {
+				indeg[to]++
+			}
+		}
+		progress := false
+		for n := range s.committed {
+			if indeg[n] == 0 {
+				delete(s.edges, n)
+				delete(s.committed, n)
+				removed = append(removed, n)
+				progress = true
+			}
+		}
+		if !progress {
+			return removed
+		}
+	}
+}
+
+// purgeLogs drops the removed nodes' entries from every shard grant log.
+func (s *Sharded) purgeLogs(removed []railNode) {
+	if len(removed) == 0 {
+		return
+	}
+	gone := map[railNode]bool{}
+	for _, n := range removed {
+		gone[n] = true
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		kept := sh.log[:0]
+		for _, rec := range sh.log {
+			if !gone[rec.n] {
+				kept = append(kept, rec)
+			}
+		}
+		sh.log = kept
+		sh.mu.Unlock()
+	}
+}
+
+// Victim implements Scheduler: first look for a cycle in the merged global
+// waits-for graph (cross-shard deadlocks), then fall back to the shard
+// schedulers' own heuristics.
+func (s *Sharded) Victim(stuck []int) (int, bool) {
+	merged := map[int][]int{}
+	provided := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if p, ok := sh.inner.(WaitsForProvider); ok {
+			provided = true
+			for w, bs := range p.WaitsForTxs() {
+				merged[w] = append(merged[w], bs...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if provided {
+		g := make(map[lockmgr.TxID][]lockmgr.TxID, len(merged))
+		for w, bs := range merged {
+			out := make([]lockmgr.TxID, len(bs))
+			for i, b := range bs {
+				out[i] = lockmgr.TxID(b)
+			}
+			g[lockmgr.TxID(w)] = out
+		}
+		if txCycle, ok := lockmgr.FindCycle(g); ok {
+			cycle := make([]int, len(txCycle))
+			for i, tx := range txCycle {
+				cycle[i] = int(tx)
+			}
+			// Highest index = youngest registration on every current shard
+			// scheduler (Begin registers 0..n−1 in order).
+			victim := cycle[0]
+			for _, tx := range cycle[1:] {
+				if tx > victim {
+					victim = tx
+				}
+			}
+			return victim, true
+		}
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		tx, ok := sh.inner.Victim(stuck)
+		sh.mu.Unlock()
+		if ok {
+			return tx, true
+		}
+	}
+	// No shard has a view of the blockage (e.g. shard-local serial, which
+	// does not track waiters). Abort the youngest stuck transaction: the
+	// harness retries survivors in ascending order, so the freed shards go
+	// to the transactions it drains first — aborting the oldest instead can
+	// livelock with the victim re-occupying its shard on every round.
+	if len(stuck) > 0 {
+		victim := stuck[0]
+		for _, tx := range stuck[1:] {
+			if tx > victim {
+				victim = tx
+			}
+		}
+		return victim, true
+	}
+	return 0, false
+}
+
+// Wounded implements Scheduler: collect and clear every shard's wounds.
+func (s *Sharded) Wounded() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, w := range sh.inner.Wounded() {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+// Sharded dispatch: the concurrent runtime for online.ConcurrentScheduler.
+// Instead of funneling every step request through one scheduler goroutine,
+// each shard runs its own dispatch loop with its own request channel and
+// parked queue; a user's request goes to the loop of the shard owning the
+// step's variable, so users contend only on the shards their steps touch.
+// The Section 6 latency decomposition is unchanged: queueing + decision is
+// scheduling time, time parked is waiting time, simulated step cost is
+// execution time.
+//
+// Cross-shard blocking is resolved cooperatively: commits, aborts and
+// wounds kick every shard's loop to retry its parked requests, and a
+// deadlock breaker (triggered when every in-flight transaction is parked,
+// with a ticker as backstop) picks a victim through the scheduler's global
+// waits-for view.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+
+	"optcc/internal/core"
+	"optcc/internal/online"
+)
+
+// shardState is one dispatch loop's mailbox and parked queue.
+type shardState struct {
+	reqCh  chan request
+	kick   chan struct{}
+	mu     sync.Mutex
+	parked []parked
+}
+
+func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, users, maxRestarts int) (*Metrics, error) {
+	m := &Metrics{}
+	n := sys.NumTxs()
+	cs.Begin(sys)
+
+	var (
+		txMu      sync.Mutex // guards attempts, committed, inFlight, woundedTx
+		attempts  = make([]int, n)
+		committed = make([]bool, n)
+		inFlight  = map[int]bool{}
+		woundedTx = map[int]bool{}
+
+		outMu  sync.Mutex
+		output []online.Event
+
+		metMu sync.Mutex // guards the histograms and counters in m
+
+		parkedCount atomic.Int64
+	)
+	for i := range attempts {
+		attempts[i] = 1
+	}
+
+	shards := make([]*shardState, cs.NumShards())
+	for i := range shards {
+		shards[i] = &shardState{reqCh: make(chan request), kick: make(chan struct{}, 1)}
+	}
+	done := make(chan struct{})
+	breakCh := make(chan struct{}, 1)
+
+	kickAll := func() {
+		for _, ss := range shards {
+			select {
+			case ss.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+	triggerBreak := func() {
+		select {
+		case breakCh <- struct{}{}:
+		default:
+		}
+	}
+
+	collectWounds := func() {
+		ws := cs.Wounded()
+		if len(ws) == 0 {
+			return
+		}
+		fresh := false
+		txMu.Lock()
+		for _, w := range ws {
+			if w >= 0 && w < n && !committed[w] && !woundedTx[w] {
+				woundedTx[w] = true
+				fresh = true
+			}
+		}
+		txMu.Unlock()
+		// Kick only on NEW wounds. A parked request under wound-wait
+		// re-reports its wounded blockers on every retry; kicking for those
+		// would make kicks and retries feed each other — a hot loop across
+		// every dispatch goroutine that starves the very user goroutines
+		// that must act on the wounds.
+		if fresh {
+			kickAll()
+		}
+	}
+
+	abortTx := func(tx int) {
+		cs.Abort(tx)
+		txMu.Lock()
+		attempts[tx]++
+		delete(inFlight, tx)
+		txMu.Unlock()
+		metMu.Lock()
+		m.Aborts++
+		metMu.Unlock()
+	}
+
+	// tryRequest decides one request; returns (verdict, decided).
+	tryRequest := func(r request) (verdict, bool) {
+		txMu.Lock()
+		if woundedTx[r.tx] {
+			delete(woundedTx, r.tx)
+			txMu.Unlock()
+			abortTx(r.tx)
+			kickAll()
+			return verdict{aborted: true, decided: time.Now()}, true
+		}
+		inFlight[r.tx] = true
+		txMu.Unlock()
+		d := cs.Try(core.StepID{Tx: r.tx, Idx: r.idx})
+		collectWounds()
+		now := time.Now()
+		switch d {
+		case online.Grant:
+			last := r.idx == len(sys.Txs[r.tx].Steps)-1
+			txMu.Lock()
+			att := attempts[r.tx]
+			if last {
+				committed[r.tx] = true
+				delete(inFlight, r.tx)
+			}
+			txMu.Unlock()
+			outMu.Lock()
+			output = append(output, online.Event{Step: core.StepID{Tx: r.tx, Idx: r.idx}, Attempt: att})
+			outMu.Unlock()
+			if last {
+				cs.Commit(r.tx)
+				kickAll()
+			}
+			return verdict{decided: now}, true
+		case online.AbortTx:
+			abortTx(r.tx)
+			kickAll()
+			return verdict{aborted: true, decided: now}, true
+		default:
+			return verdict{}, false
+		}
+	}
+
+	// retryParked re-offers a shard's parked requests until none progresses.
+	retryParked := func(ss *shardState) {
+		for {
+			progressed := false
+			ss.mu.Lock()
+			kept := ss.parked[:0]
+			for _, p := range ss.parked {
+				if v, decided := tryRequest(p.req); decided {
+					v.parked = true
+					v.decided = time.Now()
+					p.req.reply <- v
+					parkedCount.Add(-1)
+					progressed = true
+				} else {
+					kept = append(kept, p)
+				}
+			}
+			ss.parked = kept
+			ss.mu.Unlock()
+			if !progressed {
+				return
+			}
+		}
+	}
+
+	// tryBreak aborts a victim when every in-flight transaction is parked.
+	// It must stay cheap when there is no deadlock: an atomic precheck
+	// gates it, and shard mutexes are only ever taken one at a time (a
+	// breaker that locks all shards wholesale convoys with the dispatch
+	// loops on small machines). The shard-by-shard snapshot can go stale if
+	// a request unparks mid-scan; the worst case is one spurious victim
+	// abort, which the restart machinery absorbs.
+	tryBreak := func() {
+		txMu.Lock()
+		flying := len(inFlight)
+		txMu.Unlock()
+		if flying == 0 || int(parkedCount.Load()) < flying {
+			return
+		}
+		stuckSet := map[int]bool{}
+		var stuck []int
+		for _, ss := range shards {
+			ss.mu.Lock()
+			for _, p := range ss.parked {
+				if !stuckSet[p.req.tx] {
+					stuckSet[p.req.tx] = true
+					stuck = append(stuck, p.req.tx)
+				}
+			}
+			ss.mu.Unlock()
+		}
+		txMu.Lock()
+		deadlocked := len(stuck) > 0 && len(inFlight) > 0
+		for tx := range inFlight {
+			if !stuckSet[tx] {
+				deadlocked = false
+				break
+			}
+		}
+		txMu.Unlock()
+		if !deadlocked {
+			return
+		}
+		victim, ok := cs.Victim(stuck)
+		if !ok || !containsInt(stuck, victim) {
+			victim = stuck[0]
+		}
+		var reply chan verdict
+		for _, ss := range shards {
+			ss.mu.Lock()
+			for i, p := range ss.parked {
+				if p.req.tx == victim {
+					reply = p.req.reply
+					ss.parked = append(ss.parked[:i], ss.parked[i+1:]...)
+					break
+				}
+			}
+			ss.mu.Unlock()
+			if reply != nil {
+				break
+			}
+		}
+		if reply == nil {
+			return // the victim unparked meanwhile; no deadlock after all
+		}
+		parkedCount.Add(-1)
+		metMu.Lock()
+		m.DeadlockBreaks++
+		metMu.Unlock()
+		abortTx(victim)
+		reply <- verdict{aborted: true, parked: true, decided: time.Now()}
+		kickAll()
+	}
+
+	// Deadlock breaker: eager triggers from the shard loops plus a ticker
+	// backstop for triggers lost to races. The tick also re-kicks shards
+	// with parked requests — a watchdog against wake-ups starved by the Go
+	// scheduler on oversubscribed machines.
+	go func() {
+		ticker := time.NewTicker(250 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-breakCh:
+				tryBreak()
+			case <-ticker.C:
+				if parkedCount.Load() > 0 {
+					kickAll()
+					tryBreak()
+				}
+			}
+		}
+	}()
+
+	// Per-shard dispatch loops.
+	for i := range shards {
+		go func(ss *shardState) {
+			for {
+				select {
+				case r := <-ss.reqCh:
+					if v, decided := tryRequest(r); decided {
+						r.reply <- v
+					} else {
+						ss.mu.Lock()
+						ss.parked = append(ss.parked, parked{req: r, since: time.Now()})
+						ss.mu.Unlock()
+						parkedCount.Add(1)
+						txMu.Lock()
+						flying := len(inFlight)
+						txMu.Unlock()
+						if int(parkedCount.Load()) >= flying {
+							triggerBreak()
+						}
+					}
+					retryParked(ss)
+				case <-ss.kick:
+					retryParked(ss)
+				case <-done:
+					return
+				}
+			}
+		}(shards[i])
+	}
+
+	// User goroutines: one terminal per user, jobs assigned round-robin;
+	// each request goes to the dispatch loop of the shard owning its
+	// variable.
+	var wg sync.WaitGroup
+	jobCh := make(chan int)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(user)*7919))
+			for tx := range jobCh {
+				txStart := time.Now()
+				for {
+					restart := false
+					steps := len(sys.Txs[tx].Steps)
+					for idx := 0; idx < steps; idx++ {
+						if cfg.ThinkTime > 0 {
+							time.Sleep(time.Duration(rng.Int63n(int64(cfg.ThinkTime) + 1)))
+						}
+						sent := time.Now()
+						reply := make(chan verdict, 1)
+						shard := cs.ShardOf(sys.Txs[tx].Steps[idx].Var)
+						select {
+						case shards[shard].reqCh <- request{tx: tx, idx: idx, arrived: sent, reply: reply}:
+						case <-done:
+							return
+						}
+						v := <-reply
+						metMu.Lock()
+						if v.parked {
+							m.WaitNs.Add(float64(v.decided.Sub(sent)))
+						} else {
+							m.SchedNs.Add(float64(v.decided.Sub(sent)))
+						}
+						metMu.Unlock()
+						if v.aborted {
+							restart = true
+							break
+						}
+						if cfg.ExecTime > 0 {
+							time.Sleep(cfg.ExecTime)
+						}
+					}
+					if !restart {
+						break
+					}
+					txMu.Lock()
+					budget := attempts[tx] > maxRestarts
+					txMu.Unlock()
+					if budget {
+						break
+					}
+					time.Sleep(time.Duration(rng.Int63n(int64(50 * time.Microsecond))))
+				}
+				metMu.Lock()
+				m.TxLatencyNs.Add(float64(time.Since(txStart)))
+				metMu.Unlock()
+			}
+		}(u)
+	}
+
+	start := time.Now()
+	for tx := 0; tx < n; tx++ {
+		jobCh <- tx
+	}
+	close(jobCh)
+	wg.Wait()
+	close(done)
+	m.Elapsed = time.Since(start)
+
+	txMu.Lock()
+	for tx := 0; tx < n; tx++ {
+		if committed[tx] {
+			m.Committed++
+		}
+	}
+	txMu.Unlock()
+	if m.Elapsed > 0 {
+		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
+	}
+	outMu.Lock()
+	m.Output = projectFinal(output, n)
+	outMu.Unlock()
+	return m, nil
+}

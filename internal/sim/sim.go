@@ -112,6 +112,11 @@ type parked struct {
 // in structure (seeded jitter) but, as a true concurrent run, the exact
 // interleaving varies; the metrics' invariants (all jobs commit, output
 // legal) hold on every run.
+//
+// A Sched implementing online.ConcurrentScheduler is driven by per-shard
+// dispatch loops (see runSharded): users contend only on the shards their
+// steps touch. A plain online.Scheduler runs behind the single centralized
+// scheduler goroutine of Section 6.
 func Run(cfg Config) (*Metrics, error) {
 	sys := cfg.System
 	if sys == nil || sys.NumTxs() == 0 {
@@ -127,6 +132,9 @@ func Run(cfg Config) (*Metrics, error) {
 	maxRestarts := cfg.MaxRestarts
 	if maxRestarts <= 0 {
 		maxRestarts = 1000
+	}
+	if cs, ok := cfg.Sched.(online.ConcurrentScheduler); ok {
+		return runSharded(cfg, cs, sys, users, maxRestarts)
 	}
 
 	m := &Metrics{}
@@ -353,19 +361,26 @@ func Run(cfg Config) (*Metrics, error) {
 	if m.Elapsed > 0 {
 		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
 	}
-	// Final-attempt projection of the output log.
-	lastAttempt := make([]int, sys.NumTxs())
+	m.Output = projectFinal(output, sys.NumTxs())
+	return m, nil
+}
+
+// projectFinal keeps each transaction's last (committed) attempt from the
+// granted-step log, in execution order: a legal schedule of the system.
+func projectFinal(output []online.Event, n int) core.Schedule {
+	lastAttempt := make([]int, n)
 	for _, e := range output {
 		if e.Attempt > lastAttempt[e.Step.Tx] {
 			lastAttempt[e.Step.Tx] = e.Attempt
 		}
 	}
+	var h core.Schedule
 	for _, e := range output {
 		if e.Attempt == lastAttempt[e.Step.Tx] {
-			m.Output = append(m.Output, e.Step)
+			h = append(h, e.Step)
 		}
 	}
-	return m, nil
+	return h
 }
 
 func containsInt(xs []int, x int) bool {
