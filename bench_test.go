@@ -1,7 +1,7 @@
 package optcc
 
 // One benchmark per experiment of DESIGN.md's index (theorems T1–T4,
-// figures F1–F5, measurements E1–E7), plus micro-benchmarks for the
+// figures F1–F5, measurements E1–E9), plus micro-benchmarks for the
 // substrates. Run with:
 //
 //	go test -bench=. -benchmem
@@ -22,6 +22,7 @@ import (
 	"optcc/internal/online"
 	"optcc/internal/schedule"
 	"optcc/internal/sim"
+	"optcc/internal/storage"
 	"optcc/internal/workload"
 	"optcc/internal/wsr"
 )
@@ -103,6 +104,10 @@ func BenchmarkTreeLocking(b *testing.B) {
 
 func BenchmarkDeadlockPolicies(b *testing.B) {
 	benchExperiment(b, experiments.E7DeadlockPolicies)
+}
+
+func BenchmarkStorageBackendSweep(b *testing.B) {
+	benchExperiment(b, experiments.E9Quick)
 }
 
 // --- Substrate micro-benchmarks ---
@@ -304,6 +309,60 @@ func BenchmarkShardedVsCentral(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
 			run(b, func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.WoundWait, shards) })
+		})
+	}
+}
+
+// BenchmarkKVBackendApplyStep measures the storage hot path alone: apply an
+// update step (checksummed read + copy-on-write write) and commit, per
+// payload size.
+func BenchmarkKVBackendApplyStep(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			kv := storage.NewKV(storage.Config{Shards: 4, ValueSize: size})
+			kv.Reset(core.DB{"x": 0})
+			step := core.Step{Var: "x", Kind: core.Update,
+				Fn: func(l []core.Value) core.Value { return l[len(l)-1] + 1 }}
+			b.SetBytes(int64(2 * size)) // one payload read + one payload write
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := kv.ApplyStep(0, step); err != nil {
+					b.Fatal(err)
+				}
+				kv.Commit(0)
+			}
+		})
+	}
+}
+
+// BenchmarkBackendShardedVsCentral is BenchmarkShardedVsCentral with real
+// storage execution: the same low-contention workload, every granted step
+// reading and writing 1KB records through the KV backend.
+func BenchmarkBackendShardedVsCentral(b *testing.B) {
+	const jobs = 64
+	template := workload.Random(workload.RandomConfig{
+		NumTxs: jobs, MinSteps: 3, MaxSteps: 3, NumVars: 8 * jobs}, 1979)
+	run := func(b *testing.B, shards int, mk func() online.Scheduler) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			inst := sim.Instantiate(template, jobs)
+			be := storage.NewKV(storage.Config{Shards: shards, ValueSize: 1024})
+			m, err := sim.Run(sim.Config{System: inst, Sched: mk(), Backend: be, Users: 16, Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Committed != jobs {
+				b.Fatalf("committed %d of %d", m.Committed, jobs)
+			}
+		}
+	}
+	b.Run("central", func(b *testing.B) {
+		run(b, 1, func() online.Scheduler { return online.NewStrict2PL(lockmgr.WoundWait) })
+	})
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			run(b, shards, func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.WoundWait, shards) })
 		})
 	}
 }

@@ -7,10 +7,19 @@
 //	ccsim -workload banking -sched 2pl-woundwait -jobs 64 -users 8
 //	ccsim -workload tree -sched treelock -jobs 32 -users 8 -exec 200us
 //	ccsim -workload random -sched 2pl-woundwait -shards 16 -users 16
+//	ccsim -workload banking -sched 2pl-woundwait -backend kv -valuesize 4096
 //
 // -shards 0 (default) runs the classic centralized scheduler goroutine;
 // -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
 // hash-partitioned scheduler state.
+//
+// -backend kv executes every granted step against the sharded in-memory
+// storage backend (payload size -valuesize) instead of only sleeping -exec:
+// execution time becomes real work, aborts roll the store back, and the
+// final state is checked against the serial replay of the committed
+// schedule (the check is guaranteed to pass for serial and the strict-2PL
+// family; non-strict schedulers may legitimately diverge — see
+// internal/storage).
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"optcc/internal/lockmgr"
 	"optcc/internal/online"
 	"optcc/internal/sim"
+	"optcc/internal/storage"
 	"optcc/internal/workload"
 )
 
@@ -101,14 +111,16 @@ func workloadByName(name string, seed int64) (*core.System, bool) {
 
 func main() {
 	var (
-		wl     = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|tree|random")
-		sc     = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|occ|treelock")
-		jobs   = flag.Int("jobs", 32, "transaction instances to run")
-		users  = flag.Int("users", 8, "concurrent user goroutines")
-		shards = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
-		exec   = flag.Duration("exec", 100*time.Microsecond, "simulated per-step execution time")
-		think  = flag.Duration("think", 0, "max per-step user think time")
-		seed   = flag.Int64("seed", 1979, "random seed")
+		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|tree|random")
+		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|occ|treelock")
+		jobs      = flag.Int("jobs", 32, "transaction instances to run")
+		users     = flag.Int("users", 8, "concurrent user goroutines")
+		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
+		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv)")
+		valueSize = flag.Int("valuesize", 256, "payload bytes per stored record (kv backend)")
+		exec      = flag.Duration("exec", 100*time.Microsecond, "extra simulated per-step execution time")
+		think     = flag.Duration("think", 0, "max per-step user think time")
+		seed      = flag.Int64("seed", 1979, "random seed")
 	)
 	flag.Parse()
 
@@ -122,10 +134,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccsim: unknown scheduler %q\n", *sc)
 		os.Exit(2)
 	}
+	var kv *storage.KV
+	var be storage.Backend
+	if *backend != "none" {
+		s := *shards
+		if s < 1 {
+			s = 1
+		}
+		var err error
+		be, err = storage.New(*backend, storage.Config{Shards: s, ValueSize: *valueSize})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
+			os.Exit(2)
+		}
+		kv, _ = be.(*storage.KV)
+	}
 	inst := sim.Instantiate(template, *jobs)
 	m, err := sim.Run(sim.Config{
 		System:    inst,
 		Sched:     sched,
+		Backend:   be,
 		Users:     *users,
 		ExecTime:  *exec,
 		ThinkTime: *think,
@@ -135,7 +163,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload=%s scheduler=%s jobs=%d users=%d exec=%v\n", *wl, sched.Name(), *jobs, *users, *exec)
+	fmt.Printf("workload=%s scheduler=%s jobs=%d users=%d backend=%s exec=%v\n", *wl, sched.Name(), *jobs, *users, *backend, *exec)
 	fmt.Printf("committed      %d\n", m.Committed)
 	fmt.Printf("aborts         %d\n", m.Aborts)
 	fmt.Printf("deadlockBreaks %d\n", m.DeadlockBreaks)
@@ -144,6 +172,22 @@ func main() {
 	fmt.Printf("scheduling     %s\n", nsSummary(m.SchedNs.Summary()))
 	fmt.Printf("waiting        %s\n", nsSummary(m.WaitNs.Summary()))
 	fmt.Printf("tx latency     %s\n", nsSummary(m.TxLatencyNs.Summary()))
+	if be != nil {
+		fmt.Printf("execution      %s\n", nsSummary(m.ExecNs.Summary()))
+		if kv != nil {
+			st := kv.Stats()
+			fmt.Printf("backend        %s reads=%d writes=%d rollbacks=%d bytesRead=%d bytesWritten=%d\n",
+				kv.Name(), st.Reads, st.Writes, st.Rollbacks, st.BytesRead, st.BytesWritten)
+		}
+		if m.Committed == inst.NumTxs() {
+			replay, rerr := core.Exec(inst, m.Output, inst.InitialStates()[0])
+			if rerr != nil {
+				fmt.Printf("state==replay  unknown (%v)\n", rerr)
+			} else {
+				fmt.Printf("state==replay  %v (guaranteed for serial and the strict-2PL family)\n", be.State().Equal(replay))
+			}
+		}
+	}
 }
 
 // nsSummary keeps the histogram summary but notes the unit.

@@ -18,9 +18,14 @@
 //	internal/online      online schedulers: serial, 2PL variants, SGT, TO, OCC, tree locking;
 //	                     the concurrent contract (ConcurrentScheduler, Mutexed, Sharded,
 //	                     ConcurrentStrict2PL) with the cross-shard ordering rail
+//	internal/storage     storage layer: the Backend interface and the sharded in-memory
+//	                     KV store (copy-on-write records, checksummed payloads,
+//	                     per-transaction undo logs for abort rollback)
 //	internal/sim         goroutine-per-user simulator of the Section 6 environment:
-//	                     centralized scheduler goroutine or per-shard dispatch loops
-//	internal/workload    canonical systems (banking, Figure 1, …) and generators
+//	                     centralized scheduler goroutine or per-shard dispatch loops,
+//	                     executing granted steps against the storage backend
+//	internal/workload    canonical systems (banking, Figure 1, …), generators and
+//	                     payload sizers
 //	internal/experiments every experiment of DESIGN.md / EXPERIMENTS.md
 //
 // Binaries: cmd/ccbench (experiments), cmd/ccviz (figures), cmd/ccsim

@@ -1,5 +1,5 @@
 // Package experiments drives every experiment in DESIGN.md's
-// per-experiment index (T1–T4, F1–F5, E1–E7) and renders the tables
+// per-experiment index (T1–T4, F1–F5, E1–E9) and renders the tables
 // recorded in EXPERIMENTS.md. cmd/ccbench is a thin CLI over this package;
 // the root bench_test.go wraps each experiment in a testing.B benchmark.
 package experiments
@@ -21,6 +21,7 @@ import (
 	"optcc/internal/report"
 	"optcc/internal/schedule"
 	"optcc/internal/sim"
+	"optcc/internal/storage"
 	"optcc/internal/workload"
 	"optcc/internal/wsr"
 )
@@ -87,8 +88,9 @@ func All() (map[string]Runner, []string) {
 		"E6": E6TreeLocking,
 		"E7": E7DeadlockPolicies,
 		"E8": E8ShardScalability,
+		"E9": E9StorageBackend,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	return m, order
 }
 
@@ -763,6 +765,105 @@ func e8WithScale(jobs int, userSweep, shardSweep []int) (*Result, error) {
 				}
 				t.AddRow(name, m.Committed, m.Aborts, m.DeadlockBreaks,
 					m.WaitNs.Mean()/1e3, m.Throughput)
+			}
+			res.Tables = append(res.Tables, t)
+		}
+	}
+	return res, nil
+}
+
+// E9Config parameterizes the storage-backend experiment; cmd/ccbench
+// overrides Backend via its -backend flag.
+var E9Config = struct {
+	Jobs       int
+	Users      int
+	Shards     []int
+	ValueSizes []int
+	Backend    string
+}{Jobs: 24, Users: 8, Shards: []int{1, 8}, ValueSizes: []int{64, 4096}, Backend: "kv"}
+
+// NewBackend builds a storage backend by name (the storage.New registry)
+// with the given shard count and uniform payload size.
+func NewBackend(name string, shards, valueSize int) (storage.Backend, error) {
+	return storage.New(name, storage.Config{Shards: shards, ValueSize: valueSize})
+}
+
+// E9StorageBackend measures schedulers doing real work: every granted step
+// reads and writes the storage backend (checksummed payload records,
+// copy-on-write, undo-logged aborts) instead of sleeping, across value size
+// × contention regime × shard count. It also asserts the replay invariant:
+// the committed backend state must equal core.Exec of the committed
+// schedule — all schedulers in the sweep are strict, so any divergence is
+// an engine bug.
+func E9StorageBackend() (*Result, error) {
+	return e9WithScale(E9Config.Jobs, E9Config.Users, E9Config.Shards, E9Config.ValueSizes, E9Config.Backend)
+}
+
+// E9Quick is a smaller variant for tests.
+func E9Quick() (*Result, error) { return e9WithScale(10, 4, []int{4}, []int{256}, E9Config.Backend) }
+
+func e9WithScale(jobs, users int, shardSweep, valueSizes []int, backendName string) (*Result, error) {
+	res := &Result{
+		ID:    "E9",
+		Title: "Real storage execution — schedulers on the " + backendName + " backend across value size × skew",
+		Text: "Every granted step executes against the storage backend (checksummed reads, " +
+			"copy-on-write writes, undo-logged aborts); execution time is real work, and the " +
+			"committed state is verified against the serial replay of the committed schedule.",
+	}
+	regimes := []struct {
+		name     string
+		template *core.System
+	}{
+		{"uniform access", workload.Random(workload.RandomConfig{
+			NumTxs: jobs, MinSteps: 3, MaxSteps: 3, NumVars: 4 * jobs}, 1979)},
+		{"skewed access (hotspot)", workload.Random(workload.RandomConfig{
+			NumTxs: jobs, MinSteps: 3, MaxSteps: 3, NumVars: 6, Hotspot: 1}, 1979)},
+	}
+	for _, reg := range regimes {
+		for _, valueSize := range valueSizes {
+			t := report.NewTable(fmt.Sprintf("%s, %dB values, %d jobs, %d users", reg.name, valueSize, jobs, users),
+				"scheduler", "committed", "aborts", "rollbacks", "mean-exec-µs", "mean-wait-µs", "MB-written", "throughput-tx/s")
+			scheds := []online.Scheduler{online.NewStrict2PL(lockmgr.WoundWait)}
+			for _, s := range shardSweep {
+				scheds = append(scheds, online.NewConcurrentStrict2PL(lockmgr.WoundWait, s))
+			}
+			for _, sched := range scheds {
+				shards := 1
+				if cs, ok := sched.(online.ConcurrentScheduler); ok {
+					shards = cs.NumShards()
+				}
+				be, err := NewBackend(backendName, shards, valueSize)
+				if err != nil {
+					return nil, err
+				}
+				inst := sim.Instantiate(reg.template, jobs)
+				m, err := sim.Run(sim.Config{System: inst, Sched: sched, Backend: be, Users: users, Seed: 1979})
+				if err != nil {
+					return nil, err
+				}
+				if m.Committed != jobs {
+					return nil, fmt.Errorf("E9: %s committed %d of %d", sched.Name(), m.Committed, jobs)
+				}
+				replay, err := core.Exec(inst, m.Output, inst.InitialStates()[0])
+				if err != nil {
+					return nil, fmt.Errorf("E9: %s replay: %w", sched.Name(), err)
+				}
+				if !be.State().Equal(replay) {
+					return nil, fmt.Errorf("E9: %s backend state diverged from committed replay", sched.Name())
+				}
+				name := sched.Name()
+				if _, ok := sched.(online.ConcurrentScheduler); !ok {
+					name = "central/" + name
+				}
+				var rollbacks int64
+				var mbWritten float64
+				if kv, ok := be.(*storage.KV); ok {
+					st := kv.Stats()
+					rollbacks = st.Rollbacks
+					mbWritten = float64(st.BytesWritten) / (1 << 20)
+				}
+				t.AddRow(name, m.Committed, m.Aborts, rollbacks,
+					m.ExecNs.Mean()/1e3, m.WaitNs.Mean()/1e3, mbWritten, m.Throughput)
 			}
 			res.Tables = append(res.Tables, t)
 		}

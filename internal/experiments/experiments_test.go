@@ -14,8 +14,8 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
 	}
 	for _, id := range order {
-		if id == "E4" || id == "E8" {
-			continue // covered by TestE4Quick/TestE8Quick to keep the suite fast
+		if id == "E4" || id == "E8" || id == "E9" {
+			continue // covered by TestE4Quick/TestE8Quick/TestE9Quick to keep the suite fast
 		}
 		r, err := m[id]()
 		if err != nil {
@@ -61,9 +61,32 @@ func TestE8Quick(t *testing.T) {
 	}
 }
 
+func TestE9Quick(t *testing.T) {
+	r, err := E9Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E9 quick tables = %d", len(r.Tables))
+	}
+	// Each table carries the central baseline plus the sharded configs; the
+	// runner itself asserts the committed-state-equals-replay invariant.
+	for _, tbl := range r.Tables {
+		if got := strings.Count(tbl.String(), "2pl"); got < 2 {
+			t.Errorf("E9 table missing rows:\n%s", tbl.String())
+		}
+	}
+}
+
+func TestNewBackendUnknown(t *testing.T) {
+	if _, err := NewBackend("bogus", 1, 0); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

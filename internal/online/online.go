@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"optcc/internal/core"
+	"optcc/internal/storage"
 )
 
 // Decision is a scheduler's response to a step request.
@@ -135,11 +136,29 @@ func (r *Result) FinalSchedule(sys *core.System) core.Schedule {
 // the stream is exhausted stuck transactions are broken by aborting a
 // victim. maxRestarts bounds per-transaction restarts (0 means 10).
 func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int) (*Result, error) {
+	return ReplayOn(sys, sched, h, maxRestarts, nil)
+}
+
+// ReplayOn is Replay against real storage: every granted step is applied to
+// the backend, a commit discards the transaction's undo log, and every
+// abort path rolls the backend back before the scheduler is notified — the
+// same rollback-before-release order as the concurrent runtime in
+// internal/sim. With a nil backend it is exactly Replay. Because the replay
+// is single-threaded, execution order equals grant order, so the committed
+// backend state equals core.Exec of Result.FinalSchedule for any strict
+// scheduler (see internal/storage for the invariant's scope).
+func ReplayOn(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int, be storage.Backend) (*Result, error) {
 	if !h.Legal(sys.Format()) {
 		return nil, fmt.Errorf("online: history %v not legal for format %v", h, sys.Format())
 	}
 	if maxRestarts <= 0 {
 		maxRestarts = 10
+	}
+	if be != nil {
+		if !sys.Executable() {
+			return nil, fmt.Errorf("online: backend replay needs an executable system")
+		}
+		be.Reset(sys.InitialStates()[0])
 	}
 	sched.Begin(sys)
 	format := sys.Format()
@@ -158,6 +177,24 @@ func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int)
 	}
 	res := &Result{Undelayed: true}
 
+	// apply executes a granted step against the backend; rollback undoes a
+	// transaction before the scheduler learns of its abort. Both are no-ops
+	// without a backend.
+	var applyErr error
+	apply := func(id core.StepID) {
+		if be == nil {
+			return
+		}
+		if err := be.ApplyStep(id.Tx, sys.Step(id)); err != nil && applyErr == nil {
+			applyErr = err
+		}
+	}
+	rollback := func(tx int) {
+		if be != nil {
+			be.Rollback(tx)
+		}
+	}
+
 	// applyWounds rolls back transactions the scheduler wounded.
 	applyWounds := func() bool {
 		any := false
@@ -165,6 +202,7 @@ func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int)
 			if w < 0 || w >= n || committed[w] || attempt[w] > maxRestarts {
 				continue
 			}
+			rollback(w)
 			sched.Abort(w)
 			executed[w] = 0
 			attempt[w]++
@@ -186,6 +224,7 @@ func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int)
 			}
 			switch d {
 			case Grant:
+				apply(id)
 				res.Output = append(res.Output, Event{Step: id, Attempt: attempt[tx]})
 				executed[tx]++
 				progressed = true
@@ -196,6 +235,9 @@ func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int)
 				}
 				if executed[tx] == format[tx] {
 					committed[tx] = true
+					if be != nil {
+						be.Commit(tx)
+					}
 					sched.Commit(tx)
 				}
 			case Delay:
@@ -204,6 +246,7 @@ func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int)
 				if attempt[tx] > maxRestarts {
 					return progressed
 				}
+				rollback(tx)
 				sched.Abort(tx)
 				executed[tx] = 0
 				attempt[tx]++
@@ -267,11 +310,15 @@ func Replay(sys *core.System, sched Scheduler, h core.Schedule, maxRestarts int)
 		if attempt[victim] > maxRestarts {
 			break
 		}
+		rollback(victim)
 		sched.Abort(victim)
 		executed[victim] = 0
 		attempt[victim]++
 		res.Aborts++
 		res.Undelayed = false
+	}
+	if applyErr != nil {
+		return res, fmt.Errorf("online: %s: %w", sched.Name(), applyErr)
 	}
 	if !res.Completed {
 		return res, fmt.Errorf("online: %s failed to complete history %v after restarts", sched.Name(), h)

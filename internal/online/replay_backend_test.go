@@ -1,0 +1,79 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"optcc/internal/core"
+	"optcc/internal/lockmgr"
+	"optcc/internal/schedule"
+	"optcc/internal/storage"
+	"optcc/internal/workload"
+)
+
+// TestReplayOnBackendMatchesExec: replaying random histories through strict
+// schedulers against the KV backend must leave it in exactly the state of
+// core.Exec over the final (committed) schedule — the single-threaded form
+// of the runtime's replay invariant, including restarts and rollbacks.
+func TestReplayOnBackendMatchesExec(t *testing.T) {
+	systems := []*core.System{workload.Banking(), workload.Cross(), workload.Figure1()}
+	// No-wait is absent: the single-threaded harness can livelock it on
+	// adversarial histories regardless of backend (pre-existing behavior);
+	// its rollback path is covered by the concurrent tests in internal/sim.
+	scheds := []func() Scheduler{
+		func() Scheduler { return NewSerial() },
+		func() Scheduler { return NewStrict2PL(lockmgr.Detect) },
+		func() Scheduler { return NewStrict2PL(lockmgr.WoundWait) },
+	}
+	rng := rand.New(rand.NewSource(1979))
+	for _, sys := range systems {
+		for _, mk := range scheds {
+			for i := 0; i < 10; i++ {
+				h := schedule.Random(sys.Format(), rng)
+				sched := mk()
+				be := storage.NewKV(storage.Config{Shards: 4, ValueSize: 64})
+				res, err := ReplayOn(sys, sched, h, 0, be)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", sched.Name(), sys.Name, err)
+				}
+				want, err := core.Exec(sys, res.FinalSchedule(sys), sys.InitialStates()[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := be.State(); !got.Equal(want) {
+					t.Fatalf("%s on %s, history %v: backend %v, replay %v (aborts=%d)",
+						sched.Name(), sys.Name, h, got, want, res.Aborts)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayOnNilBackendIsReplay: the nil-backend path is byte-for-byte the
+// plain harness.
+func TestReplayOnNilBackendIsReplay(t *testing.T) {
+	sys := workload.Banking()
+	h := core.AllSteps(sys.Format())
+	a, err := Replay(sys, NewStrict2PL(lockmgr.Detect), h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayOn(sys, NewStrict2PL(lockmgr.Detect), h, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delays != b.Delays || a.Aborts != b.Aborts || a.Undelayed != b.Undelayed || len(a.Output) != len(b.Output) {
+		t.Fatalf("results differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestReplayOnRejectsUninterpreted: backend replay needs interpretations.
+func TestReplayOnRejectsUninterpreted(t *testing.T) {
+	sys := (&core.System{
+		Txs: []core.Transaction{{Steps: []core.Step{{Var: "x", Kind: core.Update}}}},
+	}).Normalize()
+	be := storage.NewKV(storage.Config{Shards: 1})
+	if _, err := ReplayOn(sys, NewSerial(), core.Schedule{{Tx: 0, Idx: 0}}, 0, be); err == nil {
+		t.Fatal("uninterpreted system accepted")
+	}
+}

@@ -4,14 +4,25 @@
 // parked queue; a user's request goes to the loop of the shard owning the
 // step's variable, so users contend only on the shards their steps touch.
 // The Section 6 latency decomposition is unchanged: queueing + decision is
-// scheduling time, time parked is waiting time, simulated step cost is
-// execution time.
+// scheduling time, time parked is waiting time, step cost (real backend
+// work and/or the ExecTime knob) is execution time.
+//
+// The dispatch loops only decide; they never execute. A granted step's real
+// work — the backend apply, the ExecTime sleep, and for the final step the
+// backend commit plus the scheduler commit — runs on the requesting user's
+// goroutine after the reply, so a slow step never serializes unrelated
+// grants on its shard. Aborts roll the backend back *before* the scheduler
+// releases the victim's locks (the victim is always parked or between its
+// own requests when aborted, so its rollback races with nothing of its
+// own).
 //
 // Cross-shard blocking is resolved cooperatively: commits, aborts and
 // wounds kick every shard's loop to retry its parked requests, and a
 // deadlock breaker (triggered when every in-flight transaction is parked,
 // with a ticker as backstop) picks a victim through the scheduler's global
-// waits-for view.
+// waits-for view. The breaker holds off while any commit is in flight on a
+// user goroutine — that commit is guaranteed to arrive and may unblock the
+// waiters for free.
 package sim
 
 import (
@@ -49,8 +60,12 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		output []online.Event
 
 		metMu sync.Mutex // guards the histograms and counters in m
+		errs  runErrors
 
 		parkedCount atomic.Int64
+		// committingCount is the number of transactions whose final step is
+		// granted but whose commit has not run on its user goroutine yet.
+		committingCount atomic.Int64
 	)
 	for i := range attempts {
 		attempts[i] = 1
@@ -102,7 +117,15 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		}
 	}
 
+	// abortTx rolls the backend back and only then notifies the scheduler,
+	// so the victim's locks are released after its dying writes are gone.
+	// Every caller aborts a transaction that is either issuing this very
+	// request or parked, so the rollback cannot race with the victim's own
+	// step execution.
 	abortTx := func(tx int) {
+		if cfg.Backend != nil {
+			cfg.Backend.Rollback(tx)
+		}
 		cs.Abort(tx)
 		txMu.Lock()
 		attempts[tx]++
@@ -113,7 +136,10 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		metMu.Unlock()
 	}
 
-	// tryRequest decides one request; returns (verdict, decided).
+	// tryRequest decides one request; returns (verdict, decided). Grants of
+	// a final step only mark the transaction committed — the commit itself
+	// (backend, scheduler, kicks) runs on the user goroutine, off the
+	// dispatch critical path.
 	tryRequest := func(r request) (verdict, bool) {
 		txMu.Lock()
 		if woundedTx[r.tx] {
@@ -138,14 +164,13 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 				delete(inFlight, r.tx)
 			}
 			txMu.Unlock()
+			if last {
+				committingCount.Add(1)
+			}
 			outMu.Lock()
 			output = append(output, online.Event{Step: core.StepID{Tx: r.tx, Idx: r.idx}, Attempt: att})
 			outMu.Unlock()
-			if last {
-				cs.Commit(r.tx)
-				kickAll()
-			}
-			return verdict{decided: now}, true
+			return verdict{decided: now, lastGranted: last}, true
 		case online.AbortTx:
 			abortTx(r.tx)
 			kickAll()
@@ -188,6 +213,9 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	// a request unparks mid-scan; the worst case is one spurious victim
 	// abort, which the restart machinery absorbs.
 	tryBreak := func() {
+		if committingCount.Load() > 0 {
+			return // a pending commit will kick and may unblock everything
+		}
 		txMu.Lock()
 		flying := len(inFlight)
 		txMu.Unlock()
@@ -303,7 +331,7 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 
 	// User goroutines: one terminal per user, jobs assigned round-robin;
 	// each request goes to the dispatch loop of the shard owning its
-	// variable.
+	// variable, and each granted step executes here, on the user goroutine.
 	var wg sync.WaitGroup
 	jobCh := make(chan int)
 	for u := 0; u < users; u++ {
@@ -340,8 +368,19 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							restart = true
 							break
 						}
-						if cfg.ExecTime > 0 {
-							time.Sleep(cfg.ExecTime)
+						applyStep(&cfg, tx, idx, m, &metMu, &errs)
+						if v.lastGranted {
+							// Commit order matters: the backend discards the
+							// undo log while locks are still held, then the
+							// scheduler releases them, then the other shards
+							// are kicked to retry; only then may the breaker
+							// resume (committingCount).
+							if cfg.Backend != nil {
+								cfg.Backend.Commit(tx)
+							}
+							cs.Commit(tx)
+							kickAll()
+							committingCount.Add(-1)
 						}
 					}
 					if !restart {
@@ -370,6 +409,9 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	wg.Wait()
 	close(done)
 	m.Elapsed = time.Since(start)
+	if err := errs.get(); err != nil {
+		return nil, err
+	}
 
 	txMu.Lock()
 	for tx := 0; tx < n; tx++ {

@@ -1,19 +1,29 @@
 // Package sim is the concurrent runtime of the repository: a
 // goroutine-per-user simulation of the Section 6 environment. Multiple
 // users at terminals execute transactions that mostly compute locally but
-// occasionally touch shared data; a single centralized scheduler goroutine
-// grants, delays or aborts each arriving step request.
+// occasionally touch shared data; a scheduler grants, delays or aborts each
+// arriving step request.
 //
 // The simulator decomposes each step's latency exactly as Section 6 does:
 //
-//	scheduling time — queueing for the central scheduler plus its decision,
+//	scheduling time — queueing for the scheduler plus its decision,
 //	waiting time    — imposed delay until conflicting steps complete,
-//	execution time  — the (simulated) cost of running the step.
+//	execution time  — the cost of running the step.
+//
+// Execution time is real work when Config.Backend is set: every granted
+// step is applied to the storage backend on the requesting user's goroutine
+// (read the record, evaluate the step's interpretation, write a
+// copy-on-write record), commits discard the transaction's undo log, and
+// aborts roll it back before the scheduler releases any locks. Without a
+// backend the step cost is simulated; either way Config.ExecTime adds an
+// optional extra per-step cost. Commit processing is off the scheduler's
+// grant critical path: the final step's grant replies immediately and the
+// user goroutine finishes execution before the commit releases locks.
 //
 // Any internal/online.Scheduler can be plugged in, so the experiments
 // compare the waiting time induced by schedulers with poorer or richer
-// fixpoint sets (E4), deadlock-handling policies (E7), and structured
-// versus unstructured locking (E6).
+// fixpoint sets (E4), deadlock-handling policies (E7), structured versus
+// unstructured locking (E6), and real storage execution (E9).
 package sim
 
 import (
@@ -25,6 +35,7 @@ import (
 	"optcc/internal/core"
 	"optcc/internal/online"
 	"optcc/internal/report"
+	"optcc/internal/storage"
 )
 
 // Config parameterizes one simulation run.
@@ -35,10 +46,19 @@ type Config struct {
 	// Sched is the concurrency control under test. The simulator owns it
 	// for the duration of the run.
 	Sched online.Scheduler
+	// Backend, when non-nil, executes every granted step against real
+	// storage. Run resets it to the system's first initial state; the
+	// system must be executable (every non-Read step interpreted). For
+	// strict schedulers (serial, the strict 2PL family) the committed
+	// backend state equals core.Exec of Metrics.Output — see
+	// internal/storage.
+	Backend storage.Backend
 	// Users is the number of concurrent user goroutines; jobs are assigned
 	// round-robin. Zero means one user per job.
 	Users int
-	// ExecTime simulates the per-step execution cost (0 = instantaneous).
+	// ExecTime adds a simulated per-step execution cost on top of any
+	// backend work (0 = none). It is slept on the user goroutine after the
+	// grant, never inside a dispatch loop.
 	ExecTime time.Duration
 	// ThinkTime simulates per-user local computation between steps, drawn
 	// uniformly from [0, ThinkTime].
@@ -62,6 +82,9 @@ type Metrics struct {
 	WaitNs report.Histogram
 	// SchedNs records per-request scheduling time (queueing + decision).
 	SchedNs report.Histogram
+	// ExecNs records per-step execution time: the backend apply work
+	// (empty when no backend is configured; ExecTime sleeps are excluded).
+	ExecNs report.Histogram
 	// TxLatencyNs records per-job total latency, restarts included.
 	TxLatencyNs report.Histogram
 	// Elapsed is the wall-clock duration of the run.
@@ -98,14 +121,58 @@ type verdict struct {
 	aborted bool
 	// parked reports the request was delayed before its decision, so its
 	// latency is waiting time rather than scheduling time (Section 6).
-	parked  bool
-	decided time.Time
+	parked bool
+	// lastGranted reports the grant completed the transaction's final
+	// step: the user goroutine executes it and then drives the commit.
+	lastGranted bool
+	decided     time.Time
 }
 
 // parked is a delayed request awaiting retry.
 type parked struct {
 	req   request
 	since time.Time
+}
+
+// runErrors collects the first asynchronous error of a run (backend apply
+// failures on user goroutines).
+type runErrors struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *runErrors) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *runErrors) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// applyStep executes a granted step's real work on the user goroutine: the
+// backend apply (timed into ExecNs under metMu) plus the optional ExecTime
+// extra cost. This deliberately happens after the grant reply, off every
+// dispatch loop's critical path.
+func applyStep(cfg *Config, tx, idx int, m *Metrics, metMu *sync.Mutex, errs *runErrors) {
+	if cfg.Backend != nil {
+		start := time.Now()
+		if err := cfg.Backend.ApplyStep(tx, cfg.System.Txs[tx].Steps[idx]); err != nil {
+			errs.set(fmt.Errorf("sim: apply %v: %w", core.StepID{Tx: tx, Idx: idx}, err))
+			return
+		}
+		metMu.Lock()
+		m.ExecNs.Add(float64(time.Since(start)))
+		metMu.Unlock()
+	}
+	if cfg.ExecTime > 0 {
+		time.Sleep(cfg.ExecTime)
+	}
 }
 
 // Run executes the simulation and returns its metrics. It is deterministic
@@ -125,6 +192,12 @@ func Run(cfg Config) (*Metrics, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Backend != nil {
+		if !sys.Executable() {
+			return nil, fmt.Errorf("sim: backend execution needs an executable system (every non-Read step interpreted)")
+		}
+		cfg.Backend.Reset(sys.InitialStates()[0])
+	}
 	users := cfg.Users
 	if users <= 0 || users > sys.NumTxs() {
 		users = sys.NumTxs()
@@ -139,23 +212,34 @@ func Run(cfg Config) (*Metrics, error) {
 
 	m := &Metrics{}
 	var mu sync.Mutex // guards metrics and sched state below
+	var errs runErrors
 
 	sched := cfg.Sched
 	sched.Begin(sys)
 
 	var (
-		waiting   []parked
-		inFlight  = map[int]bool{} // started, not committed/aborted-pending
-		wounded   = map[int]bool{}
-		attempts  = make([]int, sys.NumTxs())
-		committed = make([]bool, sys.NumTxs())
-		output    []online.Event
+		waiting  []parked
+		inFlight = map[int]bool{} // started, not committed/aborted-pending
+		// committing holds transactions whose final step is granted but
+		// whose commit (lock release) has not been processed yet; the
+		// deadlock breaker must wait for them — their commit is guaranteed
+		// to arrive and may unblock everything.
+		committing = map[int]bool{}
+		wounded    = map[int]bool{}
+		attempts   = make([]int, sys.NumTxs())
+		committed  = make([]bool, sys.NumTxs())
+		output     []online.Event
 	)
 	for i := range attempts {
 		attempts[i] = 1
 	}
 
 	reqCh := make(chan request)
+	// commitCh carries finished transactions back to the scheduler
+	// goroutine: the user goroutine executes the final step (and the
+	// backend commit) first, then the scheduler releases locks. Buffered so
+	// committing users never block on the scheduler.
+	commitCh := make(chan int, sys.NumTxs())
 	done := make(chan struct{})
 
 	grantOne := func(r request, now time.Time) verdict {
@@ -163,13 +247,18 @@ func Run(cfg Config) (*Metrics, error) {
 		last := r.idx == len(sys.Txs[r.tx].Steps)-1
 		if last {
 			committed[r.tx] = true
+			committing[r.tx] = true
 			delete(inFlight, r.tx)
-			sched.Commit(r.tx)
 		}
-		return verdict{decided: now}
+		return verdict{decided: now, lastGranted: last}
 	}
 
 	abortOne := func(tx int) {
+		// Roll the backend back before the scheduler releases locks, so no
+		// concurrent transaction can read the dying writes.
+		if cfg.Backend != nil {
+			cfg.Backend.Rollback(tx)
+		}
 		sched.Abort(tx)
 		attempts[tx]++
 		delete(inFlight, tx)
@@ -265,6 +354,15 @@ func Run(cfg Config) (*Metrics, error) {
 		retryParked()
 	}
 
+	// checkDeadlock breaks victims while every in-flight transaction is
+	// parked and no commit is pending (a pending commit always arrives and
+	// may unblock the waiters for free).
+	checkDeadlock := func() {
+		for len(committing) == 0 && len(waiting) > 0 && len(waiting) >= len(inFlight) && allParked(waiting, inFlight) {
+			breakDeadlock()
+		}
+	}
+
 	// Scheduler goroutine: the single centralized scheduler of Section 6.
 	go func() {
 		for {
@@ -277,10 +375,14 @@ func Run(cfg Config) (*Metrics, error) {
 					waiting = append(waiting, parked{req: r, since: time.Now()})
 				}
 				retryParked()
-				// Deadlock: every in-flight transaction is parked.
-				for len(waiting) > 0 && len(waiting) >= len(inFlight) && allParked(waiting, inFlight) {
-					breakDeadlock()
-				}
+				checkDeadlock()
+				mu.Unlock()
+			case tx := <-commitCh:
+				mu.Lock()
+				delete(committing, tx)
+				sched.Commit(tx)
+				retryParked()
+				checkDeadlock()
 				mu.Unlock()
 			case <-done:
 				return
@@ -319,8 +421,12 @@ func Run(cfg Config) (*Metrics, error) {
 							restart = true
 							break
 						}
-						if cfg.ExecTime > 0 {
-							time.Sleep(cfg.ExecTime)
+						applyStep(&cfg, tx, idx, m, &mu, &errs)
+						if v.lastGranted {
+							if cfg.Backend != nil {
+								cfg.Backend.Commit(tx)
+							}
+							commitCh <- tx
 						}
 					}
 					if !restart {
@@ -350,6 +456,9 @@ func Run(cfg Config) (*Metrics, error) {
 	wg.Wait()
 	close(done)
 	m.Elapsed = time.Since(start)
+	if err := errs.get(); err != nil {
+		return nil, err
+	}
 
 	mu.Lock()
 	defer mu.Unlock()

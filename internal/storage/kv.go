@@ -1,0 +1,328 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"optcc/internal/core"
+	"optcc/internal/lockmgr"
+)
+
+// Record is one stored value: the paper's int64 scalar plus an opaque
+// payload of configurable size, protected by a checksum. Records are
+// immutable once stored — a write builds a fresh record (copy-on-write), so
+// an undo-log entry holding the previous record restores it byte-identically
+// and readers may checksum a record after the shard lock is released.
+type Record struct {
+	// Scalar is the core.Value visible to step interpretations.
+	Scalar core.Value
+	// Payload is the opaque value body; reads checksum it, writes copy it.
+	Payload []byte
+	// Sum is the XOR checksum of Payload, verified on every read.
+	Sum byte
+}
+
+// Stats counts the physical work a backend performed since Reset.
+type Stats struct {
+	// Reads and Writes count record accesses.
+	Reads, Writes int64
+	// BytesRead and BytesWritten count payload bytes touched.
+	BytesRead, BytesWritten int64
+	// Rollbacks counts undo-log replays (aborted transactions).
+	Rollbacks int64
+}
+
+// Config parameterizes the in-memory KV backend.
+type Config struct {
+	// Shards is the number of map partitions; variables are placed with
+	// lockmgr.ShardOfVar, the same partition function as the sharded lock
+	// table and the dispatch loops, so storage, locks and dispatch always
+	// agree on ownership (minimum 1).
+	Shards int
+	// ValueSize is the payload size in bytes for every record (0 keeps
+	// records scalar-only). Sizer overrides it per variable when set.
+	ValueSize int
+	// Sizer, when non-nil, gives each variable its payload size; workloads
+	// supply sizers (e.g. workload.UniformPayload) to model value-size skew.
+	Sizer func(v core.Var) int
+}
+
+// kvShard is one map partition with its own lock.
+type kvShard struct {
+	mu   sync.RWMutex
+	data map[core.Var]*Record
+}
+
+// txCtx is a transaction's execution context: the paper's local variables
+// t_i1..t_ij and the undo log of overwritten records.
+type txCtx struct {
+	locals []core.Value
+	undo   []undoRec
+}
+
+// undoRec remembers the record a Put displaced (nil: the variable was
+// absent, so rollback deletes it).
+type undoRec struct {
+	v    core.Var
+	prev *Record
+}
+
+// KV is the sharded in-memory implementation of Backend: per-shard maps
+// partitioned exactly like lockmgr.ShardedTable, immutable copy-on-write
+// records, and per-transaction undo logs for abort rollback. See the
+// package comment for the concurrency contract and the replay invariant.
+type KV struct {
+	cfg    Config
+	shards []kvShard
+
+	ctxMu sync.Mutex
+	ctx   map[int]*txCtx
+
+	reads, writes, bytesRead, bytesWritten, rollbacks atomic.Int64
+}
+
+var _ Backend = (*KV)(nil)
+
+// NewKV returns an empty sharded KV backend; call Reset to load state.
+func NewKV(cfg Config) *KV {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	kv := &KV{cfg: cfg, shards: make([]kvShard, cfg.Shards), ctx: map[int]*txCtx{}}
+	for i := range kv.shards {
+		kv.shards[i].data = map[core.Var]*Record{}
+	}
+	return kv
+}
+
+// Name implements Backend.
+func (kv *KV) Name() string { return fmt.Sprintf("kv(%d)", len(kv.shards)) }
+
+// NumShards returns the map partition count.
+func (kv *KV) NumShards() int { return len(kv.shards) }
+
+func (kv *KV) shard(v core.Var) *kvShard {
+	return &kv.shards[lockmgr.ShardOfVar(v, len(kv.shards))]
+}
+
+func (kv *KV) sizeOf(v core.Var) int {
+	if kv.cfg.Sizer != nil {
+		return kv.cfg.Sizer(v)
+	}
+	return kv.cfg.ValueSize
+}
+
+// checksum is the XOR fold of a payload; recomputed on every read so a read
+// touches every byte, the way a real engine's page checksum does.
+func checksum(p []byte) byte {
+	var s byte
+	for _, b := range p {
+		s ^= b
+	}
+	return s
+}
+
+// newRecord builds an immutable record: prev's payload is copied (or a
+// fresh deterministic fill when prev is nil or resized), the scalar is
+// stamped into the first 8 bytes, and the checksum is computed.
+func (kv *KV) newRecord(v core.Var, scalar core.Value, prev *Record) *Record {
+	size := kv.sizeOf(v)
+	p := make([]byte, size)
+	if prev != nil && len(prev.Payload) == size {
+		copy(p, prev.Payload)
+	} else {
+		for i := range p {
+			p[i] = byte(i)
+		}
+	}
+	u := uint64(scalar)
+	for i := 0; i < 8 && i < len(p); i++ {
+		p[i] = byte(u >> (8 * i))
+	}
+	return &Record{Scalar: scalar, Payload: p, Sum: checksum(p)}
+}
+
+// Reset implements Backend: drop everything and load init, one record per
+// variable with its configured payload size.
+func (kv *KV) Reset(init core.DB) {
+	for i := range kv.shards {
+		sh := &kv.shards[i]
+		sh.mu.Lock()
+		sh.data = map[core.Var]*Record{}
+		sh.mu.Unlock()
+	}
+	kv.ctxMu.Lock()
+	kv.ctx = map[int]*txCtx{}
+	kv.ctxMu.Unlock()
+	kv.reads.Store(0)
+	kv.writes.Store(0)
+	kv.bytesRead.Store(0)
+	kv.bytesWritten.Store(0)
+	kv.rollbacks.Store(0)
+	for v, val := range init {
+		rec := kv.newRecord(v, val, nil)
+		sh := kv.shard(v)
+		sh.mu.Lock()
+		sh.data[v] = rec
+		sh.mu.Unlock()
+	}
+}
+
+// ctxOf returns tx's execution context, creating it on first use.
+func (kv *KV) ctxOf(tx int) *txCtx {
+	kv.ctxMu.Lock()
+	defer kv.ctxMu.Unlock()
+	c := kv.ctx[tx]
+	if c == nil {
+		c = &txCtx{}
+		kv.ctx[tx] = c
+	}
+	return c
+}
+
+// Get implements Backend. The checksum is verified outside the shard lock —
+// records are immutable, so the pointer read under RLock suffices.
+func (kv *KV) Get(tx int, v core.Var) core.Value {
+	sh := kv.shard(v)
+	sh.mu.RLock()
+	rec := sh.data[v]
+	sh.mu.RUnlock()
+	if rec == nil {
+		return 0
+	}
+	kv.reads.Add(1)
+	kv.bytesRead.Add(int64(len(rec.Payload)))
+	if checksum(rec.Payload) != rec.Sum {
+		panic(fmt.Sprintf("storage: payload corruption on %s", v))
+	}
+	return rec.Scalar
+}
+
+// Put implements Backend: build the copy-on-write record outside the lock,
+// swap it in, and log the displaced record for undo.
+func (kv *KV) Put(tx int, v core.Var, scalar core.Value) {
+	sh := kv.shard(v)
+	sh.mu.RLock()
+	prev := sh.data[v]
+	sh.mu.RUnlock()
+	rec := kv.newRecord(v, scalar, prev)
+	sh.mu.Lock()
+	// Re-read under the write lock: prev may be stale if another
+	// transaction wrote between the peek and the swap (only non-strict
+	// schedulers allow that; the undo entry records what was truly there).
+	prev = sh.data[v]
+	sh.data[v] = rec
+	sh.mu.Unlock()
+	kv.writes.Add(1)
+	kv.bytesWritten.Add(int64(len(rec.Payload)))
+	c := kv.ctxOf(tx)
+	c.undo = append(c.undo, undoRec{v: v, prev: prev})
+}
+
+// Scan implements Backend: shard by shard, snapshot under RLock, then visit.
+func (kv *KV) Scan(fn func(v core.Var, scalar core.Value) bool) {
+	for i := range kv.shards {
+		sh := &kv.shards[i]
+		sh.mu.RLock()
+		snap := make(map[core.Var]core.Value, len(sh.data))
+		for v, rec := range sh.data {
+			snap[v] = rec.Scalar
+		}
+		sh.mu.RUnlock()
+		for v, val := range snap {
+			if !fn(v, val) {
+				return
+			}
+		}
+	}
+}
+
+// ApplyStep implements Backend with the paper's step semantics.
+func (kv *KV) ApplyStep(tx int, step core.Step) error {
+	c := kv.ctxOf(tx)
+	val := kv.Get(tx, step.Var)
+	c.locals = append(c.locals, val)
+	if step.Kind == core.Read {
+		return nil // write-back is the identity on t_ij
+	}
+	if step.Fn == nil {
+		return fmt.Errorf("storage: step on %s has no interpretation", step.Var)
+	}
+	kv.Put(tx, step.Var, step.Fn(c.locals))
+	return nil
+}
+
+// Commit implements Backend: drop tx's undo log and locals.
+func (kv *KV) Commit(tx int) {
+	kv.ctxMu.Lock()
+	delete(kv.ctx, tx)
+	kv.ctxMu.Unlock()
+}
+
+// Rollback implements Backend: replay tx's undo log in reverse, restoring
+// each displaced record (byte-identical — records are immutable), then drop
+// the context so the restart begins with fresh locals.
+func (kv *KV) Rollback(tx int) {
+	kv.ctxMu.Lock()
+	c := kv.ctx[tx]
+	delete(kv.ctx, tx)
+	kv.ctxMu.Unlock()
+	if c == nil {
+		return
+	}
+	if len(c.undo) > 0 {
+		kv.rollbacks.Add(1)
+	}
+	for i := len(c.undo) - 1; i >= 0; i-- {
+		u := c.undo[i]
+		sh := kv.shard(u.v)
+		sh.mu.Lock()
+		if u.prev == nil {
+			delete(sh.data, u.v)
+		} else {
+			sh.data[u.v] = u.prev
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// State implements Backend.
+func (kv *KV) State() core.DB {
+	db := core.DB{}
+	kv.Scan(func(v core.Var, val core.Value) bool {
+		db[v] = val
+		return true
+	})
+	return db
+}
+
+// Snapshot deep-copies every record, for byte-level comparisons in tests
+// and tools.
+func (kv *KV) Snapshot() map[core.Var]Record {
+	out := map[core.Var]Record{}
+	for i := range kv.shards {
+		sh := &kv.shards[i]
+		sh.mu.RLock()
+		for v, rec := range sh.data {
+			out[v] = Record{
+				Scalar:  rec.Scalar,
+				Payload: append([]byte(nil), rec.Payload...),
+				Sum:     rec.Sum,
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Stats returns the physical work counters since Reset.
+func (kv *KV) Stats() Stats {
+	return Stats{
+		Reads:        kv.reads.Load(),
+		Writes:       kv.writes.Load(),
+		BytesRead:    kv.bytesRead.Load(),
+		BytesWritten: kv.bytesWritten.Load(),
+		Rollbacks:    kv.rollbacks.Load(),
+	}
+}

@@ -1,0 +1,96 @@
+// Package storage is the storage layer of the engine: the pluggable
+// Backend interface the runtime executes granted steps against, and its
+// first implementation, the sharded in-memory KV store (kv.go).
+//
+// The paper's Section 6 runtime originally *simulated* execution — a step's
+// cost was a sleep — so latency and throughput measured scheduling overhead
+// only. A Backend turns execution time into real work: a granted step reads
+// its variable's record (verifying the payload checksum), computes the
+// step's interpretation, and writes a fresh copy-on-write record, with an
+// undo log per transaction so aborts roll the database back.
+//
+// # Transaction discipline
+//
+// A Backend is driven under the same per-transaction discipline as the
+// schedulers and the sharded dispatch runtime: calls on behalf of one
+// transaction never overlap with each other, while calls for different
+// transactions may be fully concurrent. In the runtime this holds by
+// construction — a transaction's steps execute sequentially on its user
+// goroutine, and rollback is only invoked while the transaction is parked
+// or between its requests.
+//
+// # The replay invariant
+//
+// The committed backend state equals core.Exec of the committed schedule
+// (the granted-step log projected to final attempts) whenever the execution
+// is strict: no transaction reads or overwrites a value written by a
+// transaction that has not yet committed or rolled back. Serial and the
+// strict 2PL family (central, Mutexed, Sharded, ConcurrentStrict2PL)
+// guarantee strictness — locks are held to commit, and rollback runs before
+// lock release — so for them the invariant holds on every run; the
+// race-enabled tests in internal/sim prove it. Non-strict schedulers
+// (SGT-style aborting, OCC, TO) may execute dirty reads whose transaction
+// later rolls back; running them against a Backend is safe (no corruption,
+// no races) but the final state may legitimately differ from the committed
+// replay. Making them recoverable needs deferred write buffers — a ROADMAP
+// item, not undo logging.
+package storage
+
+import (
+	"fmt"
+
+	"optcc/internal/core"
+)
+
+// Backend is the storage engine the runtime executes granted steps against.
+// See the package comment for the concurrency contract and the replay
+// invariant. The tx argument is the transaction index of the system under
+// execution; it keys the per-transaction undo log and local-variable
+// context.
+type Backend interface {
+	// Name identifies the backend.
+	Name() string
+	// Reset discards all state and loads the initial database.
+	Reset(init core.DB)
+	// Get returns the scalar value of v, reading (and checksum-verifying)
+	// the full payload. The tx argument is recorded for read-set extensions;
+	// the in-memory KV does not use it.
+	Get(tx int, v core.Var) core.Value
+	// Put stores scalar as the new value of v under copy-on-write: a fresh
+	// record is built (payload copied, scalar stamped, checksum recomputed)
+	// and the previous record is appended to tx's undo log.
+	Put(tx int, v core.Var, scalar core.Value)
+	// Scan visits every variable with its scalar until fn returns false.
+	// The iteration order is unspecified; the view is consistent per shard
+	// but not across shards while writers are active.
+	Scan(fn func(v core.Var, scalar core.Value) bool)
+	// ApplyStep executes one granted step for tx with the paper's step
+	// semantics (t_ij ← x_ij; x_ij ← f_ij(t_i1..t_ij)): Get the variable,
+	// append it to tx's locals, and — unless the step is a Read — Put the
+	// step interpretation of the locals. It errors if a non-Read step has
+	// no interpretation.
+	ApplyStep(tx int, step core.Step) error
+	// Commit ends tx: its writes become permanent and its undo log and
+	// locals are discarded.
+	Commit(tx int)
+	// Rollback aborts tx: its undo log is replayed in reverse, restoring
+	// every overwritten record byte-identically, and its locals are
+	// discarded so a restart begins fresh.
+	Rollback(tx int)
+	// State snapshots the scalar database state, the shape core.Exec
+	// produces for the replay-invariant comparison.
+	State() core.DB
+}
+
+// New builds a backend by name with the given configuration. It is the one
+// backend registry — cmd/ccsim and internal/experiments both resolve names
+// through it, so a new backend (e.g. a disk store) registers here once.
+// Known names: "kv" (the sharded in-memory store).
+func New(name string, cfg Config) (Backend, error) {
+	switch name {
+	case "kv":
+		return NewKV(cfg), nil
+	default:
+		return nil, fmt.Errorf("storage: unknown backend %q (known: kv)", name)
+	}
+}

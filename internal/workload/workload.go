@@ -6,7 +6,9 @@
 // Theorem 2 adversary, and the small conflict patterns (cross, chain, lost
 // update) used across experiments. Generators: seeded random systems with
 // tunable contention, and a hierarchical (tree) access workload for the
-// Section 5.5 structured-data experiments.
+// Section 5.5 structured-data experiments. Payload sizers (UniformPayload,
+// HotColdPayload) attach value payloads to a workload's variables for the
+// real-storage experiments (internal/storage).
 package workload
 
 import (
@@ -286,6 +288,29 @@ func Random(cfg RandomConfig, seed int64) *core.System {
 		txs[i] = core.Transaction{Steps: steps}
 	}
 	return (&core.System{Name: fmt.Sprintf("random-%d", seed), Txs: txs}).Normalize()
+}
+
+// UniformPayload returns a payload sizer giving every variable n bytes.
+// Sizers feed storage.Config.Sizer: they attach value payloads to a
+// workload's variables so backend reads and writes move real bytes.
+func UniformPayload(n int) func(core.Var) int {
+	return func(core.Var) int { return n }
+}
+
+// HotColdPayload returns a sizer giving `hot` bytes to the named variables
+// and `cold` bytes to every other one: value-size skew for the storage
+// experiments (e.g. a few large hot records among small cold ones).
+func HotColdPayload(hot, cold int, hotVars ...core.Var) func(core.Var) int {
+	set := make(map[core.Var]bool, len(hotVars))
+	for _, v := range hotVars {
+		set[v] = true
+	}
+	return func(v core.Var) int {
+		if set[v] {
+			return hot
+		}
+		return cold
+	}
 }
 
 // NodeVar names node i of the implicit binary tree used by the

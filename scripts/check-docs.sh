@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Docs drift gate: README.md and DESIGN.md must reference every Go package
+# directory in the tree (internal/* and cmd/*), and every package path they
+# mention must still exist. Run from anywhere; CI runs it on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Every package directory must be referenced by both docs.
+for d in internal/*/ cmd/*/; do
+  p="${d%/}"
+  for doc in README.md DESIGN.md; do
+    if ! grep -q "$p" "$doc"; then
+      echo "check-docs: $doc does not reference package $p"
+      fail=1
+    fi
+  done
+done
+
+# Every package path the docs mention must exist.
+for doc in README.md DESIGN.md; do
+  for p in $(grep -oE '(internal|cmd)/[a-z0-9]+' "$doc" | sort -u); do
+    if [ ! -d "$p" ]; then
+      echo "check-docs: $doc references nonexistent package $p"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check-docs: FAIL"
+  exit 1
+fi
+echo "check-docs: OK"
