@@ -8,10 +8,17 @@
 //	ccsim -workload tree -sched treelock -jobs 32 -users 8 -exec 200us
 //	ccsim -workload random -sched 2pl-woundwait -shards 16 -users 16
 //	ccsim -workload banking -sched 2pl-woundwait -backend kv -valuesize 4096
+//	ccsim -workload hotshard -sched 2pl-woundwait -shards 4 -batch 16 -backend kv
 //
 // -shards 0 (default) runs the classic centralized scheduler goroutine;
 // -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
 // hash-partitioned scheduler state.
+//
+// -batch N > 1 turns on batched dispatch: each loop drains up to N queued
+// requests and decides them in one scheduler critical section, and on the
+// concurrent engine commits flow through the storage group-commit pipeline
+// (undo logs discarded and locks released per group, asynchronously to the
+// committing users). -batch 1 (default) is the unbatched runtime.
 //
 // -backend kv executes every granted step against the sharded in-memory
 // storage backend (payload size -valuesize) instead of only sleeping -exec:
@@ -100,6 +107,8 @@ func workloadByName(name string, seed int64) (*core.System, bool) {
 		return workload.Chain(), true
 	case "lostupdate":
 		return workload.LostUpdate(), true
+	case "hotshard":
+		return workload.HotShard(), true
 	case "tree":
 		return workload.PathWorkload(4, 4, seed), true
 	case "random":
@@ -111,11 +120,12 @@ func workloadByName(name string, seed int64) (*core.System, bool) {
 
 func main() {
 	var (
-		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|tree|random")
+		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|hotshard|tree|random")
 		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|occ|treelock")
 		jobs      = flag.Int("jobs", 32, "transaction instances to run")
 		users     = flag.Int("users", 8, "concurrent user goroutines")
 		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
+		batchSz   = flag.Int("batch", 1, "max requests decided per dispatch critical section; > 1 also enables group commit on the concurrent engine")
 		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv)")
 		valueSize = flag.Int("valuesize", 256, "payload bytes per stored record (kv backend)")
 		exec      = flag.Duration("exec", 100*time.Microsecond, "extra simulated per-step execution time")
@@ -155,6 +165,7 @@ func main() {
 		Sched:     sched,
 		Backend:   be,
 		Users:     *users,
+		Batch:     *batchSz,
 		ExecTime:  *exec,
 		ThinkTime: *think,
 		Seed:      *seed,
@@ -163,10 +174,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload=%s scheduler=%s jobs=%d users=%d backend=%s exec=%v\n", *wl, sched.Name(), *jobs, *users, *backend, *exec)
+	fmt.Printf("workload=%s scheduler=%s jobs=%d users=%d batch=%d backend=%s exec=%v\n", *wl, sched.Name(), *jobs, *users, *batchSz, *backend, *exec)
 	fmt.Printf("committed      %d\n", m.Committed)
 	fmt.Printf("aborts         %d\n", m.Aborts)
 	fmt.Printf("deadlockBreaks %d\n", m.DeadlockBreaks)
+	if m.CommitGroups > 0 {
+		fmt.Printf("groupCommit    %d groups, mean size %.2f\n", m.CommitGroups, m.GroupSize())
+	}
 	fmt.Printf("elapsed        %v\n", m.Elapsed)
 	fmt.Printf("throughput     %.0f tx/s\n", m.Throughput)
 	fmt.Printf("scheduling     %s\n", nsSummary(m.SchedNs.Summary()))

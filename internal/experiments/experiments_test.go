@@ -78,6 +78,21 @@ func TestE9Quick(t *testing.T) {
 	}
 }
 
+func TestE10Quick(t *testing.T) {
+	r, err := E10Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E10 quick tables = %d", len(r.Tables))
+	}
+	// One row per batch size; the runner itself asserts all jobs committed
+	// and the committed-state-equals-replay invariant per batch size.
+	if got := len(r.Tables[0].String()); got == 0 {
+		t.Error("E10 table empty")
+	}
+}
+
 func TestNewBackendUnknown(t *testing.T) {
 	if _, err := NewBackend("bogus", 1, 0); err == nil {
 		t.Error("unknown backend accepted")
@@ -86,7 +101,7 @@ func TestNewBackendUnknown(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

@@ -148,6 +148,28 @@ func (s *ShardedTable) escalate(sl *fastSlot, t *Table, v core.Var) {
 	}
 }
 
+// tryFast attempts the lock-free fast path for one request: a reentrant
+// grant on a variable tx already fast-holds exclusively (which satisfies
+// any requested mode, so no escalation is needed), or a single-CAS
+// acquisition for an Exclusive request on a free fast-regime variable.
+// ok=false means the request must go through the owning shard's Table.
+// It is THE fast path — Acquire and AcquireBatch both use it, so the
+// batched and unbatched lock managers cannot drift apart.
+func (s *ShardedTable) tryFast(tx TxID, sl *fastSlot, v core.Var, m Mode) (Result, bool) {
+	st := sl.state.Load()
+	if st == encTx(tx) {
+		return Result{Status: Granted}, true
+	}
+	if m == Exclusive && st == 0 && sl.state.CompareAndSwap(0, encTx(tx)) {
+		fs := s.fastSetOf(tx)
+		fs.mu.Lock()
+		fs.vars[v] = true
+		fs.mu.Unlock()
+		return Result{Status: Granted}, true
+	}
+	return Result{}, false
+}
+
 // Acquire requests a lock on v in mode m for tx. Exclusive requests on a
 // variable still in the fast regime are a single CAS; everything else goes
 // through the owning shard's Table under its mutex.
@@ -156,24 +178,64 @@ func (s *ShardedTable) Acquire(tx TxID, v core.Var, m Mode) Result {
 		s.Register(tx)
 	}
 	sl := s.slot(v)
-	if m == Exclusive {
-		st := sl.state.Load()
-		if st == encTx(tx) {
-			return Result{Status: Granted} // reentrant fast-path hold
-		}
-		if st == 0 && sl.state.CompareAndSwap(0, encTx(tx)) {
-			fs := s.fastSetOf(tx)
-			fs.mu.Lock()
-			fs.vars[v] = true
-			fs.mu.Unlock()
-			return Result{Status: Granted}
-		}
+	if r, ok := s.tryFast(tx, sl, v, m); ok {
+		return r
 	}
 	sh := &s.shards[s.ShardOf(v)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s.escalate(sl, sh.t, v)
 	return sh.t.Acquire(tx, v, m)
+}
+
+// BatchReq is one request of an AcquireBatch.
+type BatchReq struct {
+	Tx   TxID
+	Var  core.Var
+	Mode Mode
+}
+
+// AcquireBatch acquires a batch of lock requests for distinct transactions
+// and returns the per-request results, aligned with reqs. It is equivalent
+// to calling Acquire on each request in order — requests are decided
+// strictly in batch order, so two same-variable requests in one batch
+// resolve exactly as they would sequentially (a later fast-path-eligible
+// request can never jump ahead of an earlier conflicting one) — but one
+// shard-mutex acquisition is shared across every consecutive run of
+// slow-path requests on the same shard. The batched dispatch loops in
+// internal/sim send same-shard batches, so the common case is at most one
+// mutex acquisition per batch, and all-fast-path batches take none.
+func (s *ShardedTable) AcquireBatch(reqs []BatchReq) []Result {
+	// Register up front: Register takes every shard mutex, so it must not
+	// run while the decide loop below holds one.
+	for _, r := range reqs {
+		if _, ok := s.birth.Load(r.Tx); !ok {
+			s.Register(r.Tx)
+		}
+	}
+	out := make([]Result, len(reqs))
+	held := -1
+	for i, r := range reqs {
+		sl := s.slot(r.Var)
+		if res, ok := s.tryFast(r.Tx, sl, r.Var, r.Mode); ok {
+			out[i] = res
+			continue
+		}
+		si := s.ShardOf(r.Var)
+		if si != held {
+			if held >= 0 {
+				s.shards[held].mu.Unlock()
+			}
+			s.shards[si].mu.Lock()
+			held = si
+		}
+		s.escalate(sl, s.shards[si].t, r.Var)
+		out[i] = s.shards[si].t.Acquire(r.Tx, r.Var, r.Mode)
+	}
+	if held >= 0 {
+		s.shards[held].mu.Unlock()
+	}
+	return out
 }
 
 // Release releases tx's lock on v and returns any requests granted as a

@@ -66,6 +66,18 @@ func (m *Mutexed) Try(id core.StepID) Decision {
 	return m.inner.Try(id)
 }
 
+// TryBatch implements BatchTrier: the whole batch is decided under one
+// mutex acquisition instead of one per request.
+func (m *Mutexed) TryBatch(ids []core.StepID) []Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Decision, len(ids))
+	for i, id := range ids {
+		out[i] = m.inner.Try(id)
+	}
+	return out
+}
+
 // Commit implements Scheduler.
 func (m *Mutexed) Commit(tx int) {
 	m.mu.Lock()
@@ -157,29 +169,23 @@ type Sharded struct {
 }
 
 // NewSharded returns a combinator running one factory-built scheduler per
-// shard (minimum 1) with the cross-shard ordering rail.
+// shard (minimum 1) with the cross-shard ordering rail. The display name is
+// computed eagerly from one probe instance: lazy computation in Name would
+// race with concurrent dispatch when a run is reported while in flight.
 func NewSharded(shards int, factory func() Scheduler) *Sharded {
 	if shards < 1 {
 		shards = 1
 	}
-	return &Sharded{n: shards, factory: factory}
+	return &Sharded{
+		n:       shards,
+		factory: factory,
+		name:    fmt.Sprintf("sharded(%d)/%s", shards, factory().Name()),
+	}
 }
 
-// Name implements Scheduler. The inner name comes from the first shard
-// scheduler once Begin has built them (avoiding a throwaway factory call at
-// construction); before Begin, one probe instance is built and cached.
-func (s *Sharded) Name() string {
-	if s.name == "" {
-		inner := ""
-		if len(s.shards) > 0 {
-			inner = s.shards[0].inner.Name()
-		} else {
-			inner = s.factory().Name()
-		}
-		s.name = fmt.Sprintf("sharded(%d)/%s", s.n, inner)
-	}
-	return s.name
-}
+// Name implements Scheduler. Safe for concurrent use: the name is fixed at
+// construction and never written afterwards.
+func (s *Sharded) Name() string { return s.name }
 
 // NumShards implements ConcurrentScheduler.
 func (s *Sharded) NumShards() int { return s.n }
@@ -194,9 +200,6 @@ func (s *Sharded) Begin(sys *core.System) {
 	for i := range s.shards {
 		s.shards[i] = &shardSlot{inner: s.factory()}
 		s.shards[i].inner.Begin(sys)
-	}
-	if s.name == "" {
-		s.name = fmt.Sprintf("sharded(%d)/%s", s.n, s.shards[0].inner.Name())
 	}
 	used := map[int]bool{}
 	for _, v := range sys.Vars() {
@@ -287,10 +290,43 @@ func (s *Sharded) withdraw(me railNode, added []railNode) {
 // Try implements Scheduler: route the step to the shard owning its
 // variable; on multi-shard systems, clear the grant with the rail first.
 func (s *Sharded) Try(id core.StepID) Decision {
-	step := s.sys.Step(id)
-	sh := s.shards[s.ShardOf(step.Var)]
+	sh := s.shards[s.ShardOf(s.sys.Step(id).Var)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.tryLocked(sh, id)
+}
+
+// TryBatch implements BatchTrier. Requests are decided strictly in batch
+// order — rail edges are global, so reordering could change which grant
+// closes a cycle — but one shard-mutex acquisition is shared across every
+// consecutive run of same-shard requests (the rail is still consulted per
+// step: edge insertion must stay atomic with its cycle check). The dispatch
+// loops send same-shard batches, so the common case is a single mutex
+// acquisition for the whole batch.
+func (s *Sharded) TryBatch(ids []core.StepID) []Decision {
+	out := make([]Decision, len(ids))
+	held := -1
+	for i, id := range ids {
+		si := s.ShardOf(s.sys.Step(id).Var)
+		if si != held {
+			if held >= 0 {
+				s.shards[held].mu.Unlock()
+			}
+			s.shards[si].mu.Lock()
+			held = si
+		}
+		out[i] = s.tryLocked(s.shards[si], id)
+	}
+	if held >= 0 {
+		s.shards[held].mu.Unlock()
+	}
+	return out
+}
+
+// tryLocked decides one step against its shard scheduler, clearing the
+// grant with the rail first on multi-shard systems. Caller holds sh.mu.
+func (s *Sharded) tryLocked(sh *shardSlot, id core.StepID) Decision {
+	step := s.sys.Step(id)
 	if !s.railOn {
 		return sh.inner.Try(id)
 	}

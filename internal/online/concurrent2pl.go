@@ -83,6 +83,42 @@ func (s *ConcurrentStrict2PL) Try(id core.StepID) Decision {
 	}
 }
 
+// TryBatch implements BatchTrier natively: the batch's lock requests go
+// through lockmgr.ShardedTable.AcquireBatch, which takes each shard mutex
+// at most once for the whole batch (the dispatch loops send same-shard
+// batches, so normally exactly once). Reentrant holds are resolved by the
+// table's fast-slot check and by Table.Acquire itself, so the result is
+// decision-for-decision equivalent to calling Try on each id in order.
+func (s *ConcurrentStrict2PL) TryBatch(ids []core.StepID) []Decision {
+	reqs := make([]lockmgr.BatchReq, len(ids))
+	for i, id := range ids {
+		step := s.sys.Step(id)
+		reqs[i] = lockmgr.BatchReq{Tx: lockmgr.TxID(id.Tx), Var: step.Var, Mode: lockMode(step.Kind)}
+	}
+	results := s.table.AcquireBatch(reqs)
+	out := make([]Decision, len(ids))
+	var wounded []int
+	for i, r := range results {
+		for _, w := range r.Wounded {
+			wounded = append(wounded, int(w))
+		}
+		switch r.Status {
+		case lockmgr.Granted:
+			out[i] = Grant
+		case lockmgr.AbortSelf:
+			out[i] = AbortTx
+		default:
+			out[i] = Delay
+		}
+	}
+	if len(wounded) > 0 {
+		s.mu.Lock()
+		s.wounded = append(s.wounded, wounded...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Commit implements Scheduler.
 func (s *ConcurrentStrict2PL) Commit(tx int) {
 	s.table.ReleaseAll(lockmgr.TxID(tx))

@@ -216,20 +216,34 @@ func (s *OCC) Try(id core.StepID) Decision {
 			s.writeTimes[id.Tx][step.Var] = s.clock
 		}
 	}
+	if last {
+		// Commit point: validation passed, so the write set is recorded and
+		// the transaction retired HERE, atomically with the validating
+		// grant. Recording it in Commit instead is a commit-path race under
+		// the concurrent runtime — Commit runs on the user goroutine (with
+		// group commit, on a pipeline lane), and a transaction validating
+		// in the window between this grant and that Commit would miss the
+		// write set and certify a non-serializable interleaving.
+		writes := map[core.Var]bool{}
+		for v := range s.writeTimes[id.Tx] {
+			writes[v] = true
+		}
+		s.clock++
+		s.history = append(s.history, occCommit{at: s.clock, writes: writes})
+		s.reset(id.Tx)
+	}
 	return Grant
 }
 
-// Commit implements Scheduler: record the write set for future backward
-// validations.
-func (s *OCC) Commit(tx int) {
-	writes := map[core.Var]bool{}
-	for v := range s.writeTimes[tx] {
-		writes[v] = true
-	}
-	s.clock++
-	s.history = append(s.history, occCommit{at: s.clock, writes: writes})
-	s.reset(tx)
-}
+// Commit implements Scheduler. The commit point is the validating grant of
+// the transaction's last step (see Try), which already recorded the write
+// set and retired the transaction — on the instance that saw that step,
+// this reset is an idempotent no-op. Under the Sharded combinator other
+// shard instances see only their own steps of the transaction and never a
+// validating grant; for them Commit clears the per-transaction state (the
+// cross-shard ordering rail, not shard-local validation, is what keeps
+// multi-shard runs serializable).
+func (s *OCC) Commit(tx int) { s.reset(tx) }
 
 // Abort implements Scheduler.
 func (s *OCC) Abort(tx int) { s.reset(tx) }

@@ -23,6 +23,19 @@
 // waits-for view. The breaker holds off while any commit is in flight on a
 // user goroutine — that commit is guaranteed to arrive and may unblock the
 // waiters for free.
+//
+// Batching (Config.Batch > 1) amortizes the per-request overhead on hot
+// shards in two places. Intake coalescing: a dispatch loop drains up to
+// Batch queued requests per select iteration and decides them in one
+// scheduler critical section (online.TryBatch — a single shard-mutex
+// acquisition for the natively batched schedulers), and the parked-retry
+// scan reuses the same batch path chunk by chunk. Group commit: finishing
+// transactions enqueue into a storage.GroupCommitter lane and continue;
+// the lane discards a whole group's undo logs and releases their scheduler
+// locks in one wakeup, with a single kick of the dispatch loops per group
+// (async lock release — commit processing leaves the user goroutine
+// entirely). Batch <= 1 is exactly the original one-request-per-iteration
+// runtime.
 package sim
 
 import (
@@ -34,6 +47,7 @@ import (
 
 	"optcc/internal/core"
 	"optcc/internal/online"
+	"optcc/internal/storage"
 )
 
 // shardState is one dispatch loop's mailbox and parked queue.
@@ -44,7 +58,7 @@ type shardState struct {
 	parked []parked
 }
 
-func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, users, maxRestarts int) (*Metrics, error) {
+func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, users, maxRestarts, batch int) (*Metrics, error) {
 	m := &Metrics{}
 	n := sys.NumTxs()
 	cs.Begin(sys)
@@ -136,18 +150,32 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		metMu.Unlock()
 	}
 
-	// tryRequest decides one request; returns (verdict, decided). Grants of
-	// a final step only mark the transaction committed — the commit itself
-	// (backend, scheduler, kicks) runs on the user goroutine, off the
-	// dispatch critical path.
-	tryRequest := func(r request) (verdict, bool) {
+	// decideBatch decides a chunk of requests (each from a distinct
+	// transaction, all on one shard) in one scheduler critical section.
+	// Wounded requesters abort before the batch is offered; the rest go
+	// through online.TryBatch — a single shard-mutex acquisition for the
+	// natively batched schedulers — and the per-request bookkeeping mirrors
+	// the one-request path exactly: grants of a final step only mark the
+	// transaction committed (the commit runs later, off the dispatch
+	// critical path), wounds are collected once after the batch and before
+	// any reply, and aborts trigger one kick for the whole batch. Verdicts
+	// are delivered to each decided request's reply channel; the returned
+	// slice marks which requests were decided (the rest park).
+	// decideOne is the scalar fast path for single-request chunks — the
+	// whole Batch <= 1 runtime runs through it. It mirrors decideBatch's
+	// bookkeeping exactly but allocates nothing (cs.Try instead of the
+	// batch contract, no per-call slices), keeping the default unbatched
+	// dispatch as cheap as it was before batching existed. It replies to
+	// the request when decided and reports whether it was.
+	decideOne := func(r request, wasParked bool) bool {
 		txMu.Lock()
 		if woundedTx[r.tx] {
 			delete(woundedTx, r.tx)
 			txMu.Unlock()
 			abortTx(r.tx)
 			kickAll()
-			return verdict{aborted: true, decided: time.Now()}, true
+			r.reply <- verdict{aborted: true, parked: wasParked, decided: time.Now()}
+			return true
 		}
 		inFlight[r.tx] = true
 		txMu.Unlock()
@@ -170,31 +198,127 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 			outMu.Lock()
 			output = append(output, online.Event{Step: core.StepID{Tx: r.tx, Idx: r.idx}, Attempt: att})
 			outMu.Unlock()
-			return verdict{decided: now, lastGranted: last}, true
+			r.reply <- verdict{parked: wasParked, decided: now, lastGranted: last}
+			return true
 		case online.AbortTx:
 			abortTx(r.tx)
 			kickAll()
-			return verdict{aborted: true, decided: now}, true
+			r.reply <- verdict{aborted: true, parked: wasParked, decided: now}
+			return true
 		default:
-			return verdict{}, false
+			return false
 		}
 	}
 
-	// retryParked re-offers a shard's parked requests until none progresses.
+	decideBatch := func(reqs []request, wasParked bool) []bool {
+		verdicts := make([]verdict, len(reqs))
+		decided := make([]bool, len(reqs))
+		ids := make([]core.StepID, 0, len(reqs))
+		idSlot := make([]int, 0, len(reqs))
+		anyAbort := false
+		for i, r := range reqs {
+			txMu.Lock()
+			if woundedTx[r.tx] {
+				delete(woundedTx, r.tx)
+				txMu.Unlock()
+				abortTx(r.tx)
+				anyAbort = true
+				verdicts[i] = verdict{aborted: true, decided: time.Now()}
+				decided[i] = true
+				continue
+			}
+			inFlight[r.tx] = true
+			txMu.Unlock()
+			ids = append(ids, core.StepID{Tx: r.tx, Idx: r.idx})
+			idSlot = append(idSlot, i)
+		}
+		var ds []online.Decision
+		if len(ids) > 0 {
+			ds = online.TryBatch(cs, ids)
+		}
+		collectWounds()
+		now := time.Now()
+		for k, d := range ds {
+			i := idSlot[k]
+			r := reqs[i]
+			switch d {
+			case online.Grant:
+				last := r.idx == len(sys.Txs[r.tx].Steps)-1
+				txMu.Lock()
+				att := attempts[r.tx]
+				if last {
+					committed[r.tx] = true
+					delete(inFlight, r.tx)
+				}
+				txMu.Unlock()
+				if last {
+					committingCount.Add(1)
+				}
+				outMu.Lock()
+				output = append(output, online.Event{Step: core.StepID{Tx: r.tx, Idx: r.idx}, Attempt: att})
+				outMu.Unlock()
+				verdicts[i] = verdict{decided: now, lastGranted: last}
+				decided[i] = true
+			case online.AbortTx:
+				abortTx(r.tx)
+				anyAbort = true
+				verdicts[i] = verdict{aborted: true, decided: now}
+				decided[i] = true
+			}
+		}
+		if anyAbort {
+			kickAll()
+		}
+		// Reply only after the whole batch's bookkeeping (wounds included)
+		// is done: a granted user's next request must not race ahead of the
+		// wounds its own grant produced.
+		for i := range reqs {
+			if decided[i] {
+				v := verdicts[i]
+				v.parked = wasParked
+				reqs[i].reply <- v
+			}
+		}
+		return decided
+	}
+
+	// retryParked re-offers a shard's parked requests, chunked through the
+	// batch path (one scheduler critical section per chunk), until a full
+	// scan makes no progress.
 	retryParked := func(ss *shardState) {
+		var reqs []request // lazily grown; unused on the scalar (batch 1) path
 		for {
 			progressed := false
 			ss.mu.Lock()
+			n := len(ss.parked)
 			kept := ss.parked[:0]
-			for _, p := range ss.parked {
-				if v, decided := tryRequest(p.req); decided {
-					v.parked = true
-					v.decided = time.Now()
-					p.req.reply <- v
-					parkedCount.Add(-1)
-					progressed = true
-				} else {
-					kept = append(kept, p)
+			for start := 0; start < n; start += batch {
+				end := start + batch
+				if end > n {
+					end = n
+				}
+				if end-start == 1 {
+					p := ss.parked[start]
+					if decideOne(p.req, true) {
+						parkedCount.Add(-1)
+						progressed = true
+					} else {
+						kept = append(kept, p)
+					}
+					continue
+				}
+				reqs = reqs[:0]
+				for _, p := range ss.parked[start:end] {
+					reqs = append(reqs, p.req)
+				}
+				dec := decideBatch(reqs, true)
+				for i, d := range dec {
+					if d {
+						parkedCount.Add(-1)
+						progressed = true
+					} else {
+						kept = append(kept, ss.parked[start+i])
+					}
 				}
 			}
 			ss.parked = kept
@@ -299,19 +423,48 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		}
 	}()
 
-	// Per-shard dispatch loops.
+	// Per-shard dispatch loops. Intake is coalesced: everything queued on
+	// the request channel (up to the batch bound) is drained and decided in
+	// one critical section, instead of one select iteration — one channel
+	// hop, one retry scan, one deadlock precheck — per request.
 	for i := range shards {
 		go func(ss *shardState) {
+			intake := make([]request, 0, batch)
 			for {
 				select {
 				case r := <-ss.reqCh:
-					if v, decided := tryRequest(r); decided {
-						r.reply <- v
+					intake = append(intake[:0], r)
+				drain:
+					for len(intake) < batch {
+						select {
+						case r2 := <-ss.reqCh:
+							intake = append(intake, r2)
+						default:
+							break drain
+						}
+					}
+					parkedNew := 0
+					if len(intake) == 1 {
+						if !decideOne(intake[0], false) {
+							ss.mu.Lock()
+							ss.parked = append(ss.parked, parked{req: intake[0], since: time.Now()})
+							ss.mu.Unlock()
+							parkedNew++
+						}
 					} else {
+						dec := decideBatch(intake, false)
+						now := time.Now()
 						ss.mu.Lock()
-						ss.parked = append(ss.parked, parked{req: r, since: time.Now()})
+						for i, d := range dec {
+							if !d {
+								ss.parked = append(ss.parked, parked{req: intake[i], since: now})
+								parkedNew++
+							}
+						}
 						ss.mu.Unlock()
-						parkedCount.Add(1)
+					}
+					if parkedNew > 0 {
+						parkedCount.Add(int64(parkedNew))
 						txMu.Lock()
 						flying := len(inFlight)
 						txMu.Unlock()
@@ -329,6 +482,28 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		}(shards[i])
 	}
 
+	// Group commit (Batch > 1): finishing users enqueue into a per-lane
+	// commit pipeline instead of committing inline; the lane's driver (the
+	// first committer to find it idle — a live user goroutine, so no wakeup
+	// handoff) discards a whole group's undo logs while their locks are
+	// still held, then releases the group's scheduler locks and kicks the
+	// dispatch loops once. The breaker stays disabled until the group's
+	// release completes (committingCount is decremented last), preserving
+	// the "a pending commit always arrives" argument. Lanes partition by
+	// transaction id, NOT by shard (a transaction's locks may span shards,
+	// so a shard partition of commits does not exist); the shard count is
+	// only borrowed as a concurrency heuristic for how many lanes to run.
+	var gc *storage.GroupCommitter
+	if batch > 1 {
+		gc = storage.NewGroupCommitter(cfg.Backend, cs.NumShards(), func(txs []int) {
+			for _, tx := range txs {
+				cs.Commit(tx)
+			}
+			kickAll()
+			committingCount.Add(-int64(len(txs)))
+		})
+	}
+
 	// User goroutines: one terminal per user, jobs assigned round-robin;
 	// each request goes to the dispatch loop of the shard owning its
 	// variable, and each granted step executes here, on the user goroutine.
@@ -342,7 +517,7 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 			for tx := range jobCh {
 				txStart := time.Now()
 				for {
-					restart := false
+					restart, failed := false, false
 					steps := len(sys.Txs[tx].Steps)
 					for idx := 0; idx < steps; idx++ {
 						if cfg.ThinkTime > 0 {
@@ -368,22 +543,46 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							restart = true
 							break
 						}
-						applyStep(&cfg, tx, idx, m, &metMu, &errs)
+						if !applyStep(&cfg, tx, idx, m, &metMu, &errs) {
+							// Failed execution: abort through the normal
+							// path — undo the final step's committed mark if
+							// any, roll the backend back, release locks —
+							// and stop this transaction for good. Run
+							// surfaces the recorded error.
+							if v.lastGranted {
+								txMu.Lock()
+								committed[tx] = false
+								txMu.Unlock()
+							}
+							abortTx(tx)
+							kickAll()
+							if v.lastGranted {
+								committingCount.Add(-1)
+							}
+							failed = true
+							break
+						}
 						if v.lastGranted {
 							// Commit order matters: the backend discards the
 							// undo log while locks are still held, then the
 							// scheduler releases them, then the other shards
 							// are kicked to retry; only then may the breaker
-							// resume (committingCount).
-							if cfg.Backend != nil {
-								cfg.Backend.Commit(tx)
+							// resume (committingCount). With group commit the
+							// same sequence runs on the pipeline lane for a
+							// whole group at a time.
+							if gc != nil {
+								gc.Enqueue(tx)
+							} else {
+								if cfg.Backend != nil {
+									cfg.Backend.Commit(tx)
+								}
+								cs.Commit(tx)
+								kickAll()
+								committingCount.Add(-1)
 							}
-							cs.Commit(tx)
-							kickAll()
-							committingCount.Add(-1)
 						}
 					}
-					if !restart {
+					if failed || !restart {
 						break
 					}
 					txMu.Lock()
@@ -407,6 +606,14 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	}
 	close(jobCh)
 	wg.Wait()
+	if gc != nil {
+		// Flush the commit pipeline before stopping the loops: pending
+		// groups still need their undo logs discarded and locks released,
+		// and the metrics below must see a quiesced backend.
+		gc.Close()
+		groups, txs := gc.Stats()
+		m.CommitGroups, m.GroupCommits = int(groups), int(txs)
+	}
 	close(done)
 	m.Elapsed = time.Since(start)
 	if err := errs.get(); err != nil {
@@ -419,12 +626,12 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 			m.Committed++
 		}
 	}
+	outMu.Lock()
+	m.Output = projectFinal(output, committed)
+	outMu.Unlock()
 	txMu.Unlock()
 	if m.Elapsed > 0 {
 		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
 	}
-	outMu.Lock()
-	m.Output = projectFinal(output, n)
-	outMu.Unlock()
 	return m, nil
 }

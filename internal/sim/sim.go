@@ -56,6 +56,17 @@ type Config struct {
 	// Users is the number of concurrent user goroutines; jobs are assigned
 	// round-robin. Zero means one user per job.
 	Users int
+	// Batch bounds how many queued step requests a dispatch loop decides in
+	// one scheduler critical section (intake coalescing; 0 or 1 = one
+	// request per loop iteration, the unbatched runtime). On the sharded
+	// engine a value > 1 also enables the storage group-commit pipeline:
+	// a finishing transaction enqueues its commit, and the lane's driver —
+	// the first committer to find the lane idle — discards undo logs and
+	// releases scheduler locks for the whole accumulated group in one
+	// sweep, asynchronously to every follower (async lock release). The
+	// granted-step log and all invariants are unchanged; only the batching
+	// of decisions and commit processing differs.
+	Batch int
 	// ExecTime adds a simulated per-step execution cost on top of any
 	// backend work (0 = none). It is slept on the user goroutine after the
 	// grant, never inside a dispatch loop.
@@ -78,6 +89,11 @@ type Metrics struct {
 	// DeadlockBreaks counts victims chosen when every in-flight
 	// transaction was blocked.
 	DeadlockBreaks int
+	// CommitGroups and GroupCommits report the group-commit pipeline's
+	// coalescing (zero when group commit is off, i.e. Batch <= 1 or the
+	// centralized runtime): groups processed and transactions committed
+	// through them.
+	CommitGroups, GroupCommits int
 	// WaitNs records per-request waiting time (delay until grant/abort).
 	WaitNs report.Histogram
 	// SchedNs records per-request scheduling time (queueing + decision).
@@ -91,9 +107,23 @@ type Metrics struct {
 	Elapsed time.Duration
 	// Throughput is committed jobs per second of wall clock.
 	Throughput float64
-	// Output is the granted-step log (final attempts only), a legal
-	// schedule of the instance system.
+	// Output is the granted-step log projected to committed transactions'
+	// final attempts, in grant order: a legal prefix (whole transactions
+	// only) of the instance system, and a complete legal schedule when every
+	// job committed. Attempts of transactions that never committed — e.g. a
+	// restart budget exhausted on an aborted, rolled-back final attempt —
+	// are excluded: their effects were undone, so including them would make
+	// Output disagree with the committed state.
 	Output core.Schedule
+}
+
+// GroupSize returns the mean commit-group size — the coalescing factor the
+// group-commit pipeline achieved — or 0 when group commit was off.
+func (m *Metrics) GroupSize() float64 {
+	if m.CommitGroups == 0 {
+		return 0
+	}
+	return float64(m.GroupCommits) / float64(m.CommitGroups)
 }
 
 // Instantiate builds an instance system with `jobs` transactions by cycling
@@ -134,6 +164,17 @@ type parked struct {
 	since time.Time
 }
 
+// failure reports a backend apply that failed on a user goroutine: the
+// transaction must be aborted through the scheduler (rollback before lock
+// release) and stopped. last marks a failure on the final step, whose grant
+// already recorded the transaction as committed — that record must be
+// undone before the abort.
+type failure struct {
+	tx   int
+	last bool
+	ack  chan struct{}
+}
+
 // runErrors collects the first asynchronous error of a run (backend apply
 // failures on user goroutines).
 type runErrors struct {
@@ -158,13 +199,17 @@ func (e *runErrors) get() error {
 // applyStep executes a granted step's real work on the user goroutine: the
 // backend apply (timed into ExecNs under metMu) plus the optional ExecTime
 // extra cost. This deliberately happens after the grant reply, off every
-// dispatch loop's critical path.
-func applyStep(cfg *Config, tx, idx int, m *Metrics, metMu *sync.Mutex, errs *runErrors) {
+// dispatch loop's critical path. It reports whether the step succeeded; on
+// failure the error is recorded and the caller must abort the transaction
+// through the normal abort path (rollback, then scheduler release) and stop
+// it — continuing, or worse committing, would persist a partially-applied
+// transaction.
+func applyStep(cfg *Config, tx, idx int, m *Metrics, metMu *sync.Mutex, errs *runErrors) bool {
 	if cfg.Backend != nil {
 		start := time.Now()
 		if err := cfg.Backend.ApplyStep(tx, cfg.System.Txs[tx].Steps[idx]); err != nil {
 			errs.set(fmt.Errorf("sim: apply %v: %w", core.StepID{Tx: tx, Idx: idx}, err))
-			return
+			return false
 		}
 		metMu.Lock()
 		m.ExecNs.Add(float64(time.Since(start)))
@@ -173,6 +218,7 @@ func applyStep(cfg *Config, tx, idx int, m *Metrics, metMu *sync.Mutex, errs *ru
 	if cfg.ExecTime > 0 {
 		time.Sleep(cfg.ExecTime)
 	}
+	return true
 }
 
 // Run executes the simulation and returns its metrics. It is deterministic
@@ -206,8 +252,12 @@ func Run(cfg Config) (*Metrics, error) {
 	if maxRestarts <= 0 {
 		maxRestarts = 1000
 	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	if cs, ok := cfg.Sched.(online.ConcurrentScheduler); ok {
-		return runSharded(cfg, cs, sys, users, maxRestarts)
+		return runSharded(cfg, cs, sys, users, maxRestarts, batch)
 	}
 
 	m := &Metrics{}
@@ -240,6 +290,9 @@ func Run(cfg Config) (*Metrics, error) {
 	// backend commit) first, then the scheduler releases locks. Buffered so
 	// committing users never block on the scheduler.
 	commitCh := make(chan int, sys.NumTxs())
+	// failCh carries failed backend applies: the transaction aborts through
+	// the scheduler (rollback before lock release) and must not commit.
+	failCh := make(chan failure)
 	done := make(chan struct{})
 
 	grantOne := func(r request, now time.Time) verdict {
@@ -364,26 +417,70 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 
 	// Scheduler goroutine: the single centralized scheduler of Section 6.
+	// With Batch > 1 it coalesces its intake: everything queued on a channel
+	// is drained opportunistically and processed under one critical section
+	// — one parked-retry scan and one deadlock check per batch instead of
+	// one per request/commit.
 	go func() {
+		reqBuf := make([]request, 0, batch)
+		commitBuf := make([]int, 0, batch)
 		for {
 			select {
 			case r := <-reqCh:
+				reqBuf = append(reqBuf[:0], r)
+			reqDrain:
+				for len(reqBuf) < batch {
+					select {
+					case r2 := <-reqCh:
+						reqBuf = append(reqBuf, r2)
+					default:
+						break reqDrain
+					}
+				}
 				mu.Lock()
-				if v, decided := tryRequest(r); decided {
-					r.reply <- v
-				} else {
-					waiting = append(waiting, parked{req: r, since: time.Now()})
+				for _, r := range reqBuf {
+					if v, decided := tryRequest(r); decided {
+						r.reply <- v
+					} else {
+						waiting = append(waiting, parked{req: r, since: time.Now()})
+					}
 				}
 				retryParked()
 				checkDeadlock()
 				mu.Unlock()
 			case tx := <-commitCh:
+				commitBuf = append(commitBuf[:0], tx)
+			commitDrain:
+				for len(commitBuf) < batch {
+					select {
+					case tx2 := <-commitCh:
+						commitBuf = append(commitBuf, tx2)
+					default:
+						break commitDrain
+					}
+				}
 				mu.Lock()
-				delete(committing, tx)
-				sched.Commit(tx)
+				for _, tx := range commitBuf {
+					delete(committing, tx)
+					sched.Commit(tx)
+				}
 				retryParked()
 				checkDeadlock()
 				mu.Unlock()
+			case f := <-failCh:
+				mu.Lock()
+				if f.last {
+					// The final step's grant marked the transaction
+					// committed before its execution failed; undo that
+					// record — it must not commit.
+					committed[f.tx] = false
+					delete(committing, f.tx)
+				}
+				abortOne(f.tx)
+				retryParked()
+				checkDeadlock()
+				mu.Unlock()
+				close(f.ack)
 			case <-done:
 				return
 			}
@@ -400,7 +497,7 @@ func Run(cfg Config) (*Metrics, error) {
 			for tx := range jobCh {
 				txStart := time.Now()
 				for {
-					restart := false
+					restart, failed := false, false
 					steps := len(sys.Txs[tx].Steps)
 					for idx := 0; idx < steps; idx++ {
 						if cfg.ThinkTime > 0 {
@@ -421,7 +518,17 @@ func Run(cfg Config) (*Metrics, error) {
 							restart = true
 							break
 						}
-						applyStep(&cfg, tx, idx, m, &mu, &errs)
+						if !applyStep(&cfg, tx, idx, m, &mu, &errs) {
+							// Failed execution: abort through the scheduler
+							// and stop this transaction for good — no later
+							// steps, no commit. Run surfaces the recorded
+							// error.
+							ack := make(chan struct{})
+							failCh <- failure{tx: tx, last: v.lastGranted, ack: ack}
+							<-ack
+							failed = true
+							break
+						}
 						if v.lastGranted {
 							if cfg.Backend != nil {
 								cfg.Backend.Commit(tx)
@@ -429,7 +536,7 @@ func Run(cfg Config) (*Metrics, error) {
 							commitCh <- tx
 						}
 					}
-					if !restart {
+					if failed || !restart {
 						break
 					}
 					mu.Lock()
@@ -470,22 +577,27 @@ func Run(cfg Config) (*Metrics, error) {
 	if m.Elapsed > 0 {
 		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
 	}
-	m.Output = projectFinal(output, sys.NumTxs())
+	m.Output = projectFinal(output, committed)
 	return m, nil
 }
 
-// projectFinal keeps each transaction's last (committed) attempt from the
-// granted-step log, in execution order: a legal schedule of the system.
-func projectFinal(output []online.Event, n int) core.Schedule {
-	lastAttempt := make([]int, n)
+// projectFinal keeps each committed transaction's last attempt from the
+// granted-step log, in execution order: a legal schedule of the committed
+// transactions (complete when all of them committed). Transactions that
+// never committed are excluded entirely — a restart budget exhausted on an
+// aborted final attempt leaves steps in the log whose effects were rolled
+// back, and keeping them would make the result disagree with both the
+// committed backend state and any legal schedule semantics.
+func projectFinal(output []online.Event, committed []bool) core.Schedule {
+	lastAttempt := make([]int, len(committed))
 	for _, e := range output {
-		if e.Attempt > lastAttempt[e.Step.Tx] {
+		if committed[e.Step.Tx] && e.Attempt > lastAttempt[e.Step.Tx] {
 			lastAttempt[e.Step.Tx] = e.Attempt
 		}
 	}
 	var h core.Schedule
 	for _, e := range output {
-		if e.Attempt == lastAttempt[e.Step.Tx] {
+		if committed[e.Step.Tx] && e.Attempt == lastAttempt[e.Step.Tx] {
 			h = append(h, e.Step)
 		}
 	}

@@ -57,8 +57,9 @@ func strictSchedulers() []struct {
 
 // checkReplayInvariant runs the configuration with a fresh KV backend and
 // fails unless all jobs commit and the backend state equals the serial
-// replay of the committed schedule.
-func checkReplayInvariant(t *testing.T, name string, mk func() online.Scheduler, template *core.System, jobs, users, valueSize int, seed int64) *Metrics {
+// replay of the committed schedule. batch > 1 turns on intake coalescing
+// and group commit.
+func checkReplayInvariant(t *testing.T, name string, mk func() online.Scheduler, template *core.System, jobs, users, valueSize int, seed int64, batch int) *Metrics {
 	t.Helper()
 	inst := Instantiate(template, jobs)
 	shards := 1
@@ -66,7 +67,7 @@ func checkReplayInvariant(t *testing.T, name string, mk func() online.Scheduler,
 		shards = cs.NumShards()
 	}
 	be := storage.NewKV(storage.Config{Shards: shards, ValueSize: valueSize})
-	m, err := Run(Config{System: inst, Sched: mk(), Backend: be, Users: users, Seed: seed})
+	m, err := Run(Config{System: inst, Sched: mk(), Backend: be, Users: users, Seed: seed, Batch: batch})
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -84,10 +85,10 @@ func checkReplayInvariant(t *testing.T, name string, mk func() online.Scheduler,
 }
 
 // TestBackendStateMatchesCommittedReplay is the acceptance invariant: for
-// every strict scheduler — central and sharded — a run over real storage
-// leaves the backend in exactly the state of serially replaying the
-// committed schedule, on workloads spanning low contention, interpreted
-// banking transfers, and a deadlock-prone cross pattern.
+// every strict scheduler — central and sharded, unbatched and batched — a
+// run over real storage leaves the backend in exactly the state of serially
+// replaying the committed schedule, on workloads spanning low contention,
+// interpreted banking transfers, and a deadlock-prone cross pattern.
 func TestBackendStateMatchesCommittedReplay(t *testing.T) {
 	templates := []struct {
 		name     string
@@ -99,11 +100,13 @@ func TestBackendStateMatchesCommittedReplay(t *testing.T) {
 		{"cross", workload.Cross(), 10, 5},
 		{"random", workload.Random(workload.RandomConfig{NumTxs: 8, MinSteps: 2, MaxSteps: 3, NumVars: 6, Hotspot: 1}, 7), 16, 8},
 	}
-	for _, cfg := range strictSchedulers() {
-		for _, w := range templates {
-			t.Run(cfg.name+"/"+w.name, func(t *testing.T) {
-				checkReplayInvariant(t, cfg.name, cfg.mk, w.template, w.jobs, w.users, 128, 42)
-			})
+	for _, batch := range []int{1, 8} {
+		for _, cfg := range strictSchedulers() {
+			for _, w := range templates {
+				t.Run(fmt.Sprintf("batch%d/%s/%s", batch, cfg.name, w.name), func(t *testing.T) {
+					checkReplayInvariant(t, cfg.name, cfg.mk, w.template, w.jobs, w.users, 128, 42, batch)
+				})
+			}
 		}
 	}
 }
@@ -134,7 +137,7 @@ func TestBackendAbortRollbackUnderContention(t *testing.T) {
 			{"2pl-sharded4/nowait", func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.NoWait, 4) }},
 			{"2pl-sharded4/woundwait", func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.WoundWait, 4) }},
 		} {
-			m := checkReplayInvariant(t, cfg.name, cfg.mk, hot, 16, 8, 64, seed)
+			m := checkReplayInvariant(t, cfg.name, cfg.mk, hot, 16, 8, 64, seed, 0)
 			if m.Aborts > 0 {
 				anyAborts = true
 			}
@@ -182,7 +185,7 @@ func TestBackendSweepValueSizes(t *testing.T) {
 		t.Run(fmt.Sprintf("%dB", size), func(t *testing.T) {
 			checkReplayInvariant(t, "2pl-sharded4/woundwait",
 				func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.WoundWait, 4) },
-				workload.Banking(), 12, 6, size, 11)
+				workload.Banking(), 12, 6, size, 11, 0)
 		})
 	}
 }

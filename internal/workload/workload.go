@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"optcc/internal/core"
+	"optcc/internal/lockmgr"
 )
 
 func last(l []core.Value) core.Value { return l[len(l)-1] }
@@ -169,6 +170,50 @@ func Chain() *core.System {
 			}},
 		},
 	}).Normalize()
+}
+
+// HotShard returns the batching stress pattern: one transaction shape
+// hammering a two-variable hot set (h, then k, then h again), so when
+// instantiated many times nearly all request traffic lands on the one or
+// two dispatch loops owning h and k and intake queues actually build up.
+// It is the workload of experiment E10 and BenchmarkBatchedVsUnbatched.
+func HotShard() *core.System {
+	return (&core.System{
+		Name: "hotshard",
+		Txs: []core.Transaction{
+			{Name: "T1", Steps: []core.Step{
+				{Var: "h", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 1 }},
+				{Var: "k", Kind: core.Update, Fn: func(l []core.Value) core.Value { return last(l) + 2 }},
+				{Var: "h", Kind: core.Update, Fn: func(l []core.Value) core.Value { return 2 * last(l) }},
+			}},
+		},
+	}).Normalize()
+}
+
+// HotShardDisjoint returns the loop-contention complement of HotShard:
+// jobs transactions, each updating its own private variable three times,
+// with every variable chosen to hash to shard 0 of a shards-way partition
+// (lockmgr.ShardOfVar — the partition function of the whole engine). All
+// request traffic therefore lands on one dispatch loop while the lock
+// table sees no conflicts at all: the dispatch loop, not the data, is the
+// bottleneck. This is where batch intake is measurable — lock-contended
+// runs are dominated by waiting, which batching does not change.
+func HotShardDisjoint(jobs, shards int) *core.System {
+	sys := &core.System{Name: "hotshard-disjoint"}
+	inc := func(l []core.Value) core.Value { return last(l) + 1 }
+	for v, made := 0, 0; made < jobs; v++ {
+		name := core.Var(fmt.Sprintf("v%d", v))
+		if lockmgr.ShardOfVar(name, shards) != 0 {
+			continue
+		}
+		made++
+		sys.Txs = append(sys.Txs, core.Transaction{Steps: []core.Step{
+			{Var: name, Kind: core.Update, Fn: inc},
+			{Var: name, Kind: core.Update, Fn: inc},
+			{Var: name, Kind: core.Update, Fn: inc},
+		}})
+	}
+	return sys.Normalize()
 }
 
 // LostUpdate returns the classic read-then-write pair on one variable.

@@ -28,6 +28,29 @@ for doc in README.md DESIGN.md; do
   done
 done
 
+# The batching surface must stay documented: experiment E10 and the -batch
+# flag in both docs and in the flag surfaces that expose them.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'E10' "$doc"; then
+    echo "check-docs: $doc does not document experiment E10"
+    fail=1
+  fi
+  if ! grep -qe '-batch' "$doc"; then
+    echo "check-docs: $doc does not document the -batch flag"
+    fail=1
+  fi
+done
+for cmd in cmd/ccsim/main.go cmd/ccbench/main.go; do
+  if ! grep -q '"batch"' "$cmd"; then
+    echo "check-docs: $cmd lost its -batch flag"
+    fail=1
+  fi
+done
+if ! grep -q 'E10' internal/experiments/experiments.go; then
+  echo "check-docs: experiments registry lost E10"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL"
   exit 1
