@@ -1,0 +1,31 @@
+# Convenience targets around the plain-go workflow (everything also works
+# with bare `go` commands; see README.md).
+
+GO ?= go
+
+.PHONY: build test race bench bench-json check-docs ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of everything, as CI runs it.
+bench:
+	$(GO) test -run xxx -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark snapshot: the runtime experiments (sharding,
+# batching, native TO / rail striping) rendered as JSON. Each PR that
+# touches the engine refreshes its BENCH_PR<n>.json so the repository
+# accumulates a throughput trajectory that later PRs can diff against.
+bench-json:
+	$(GO) run ./cmd/ccbench -exp E8,E10,E11 -json > BENCH_PR4.json
+
+check-docs:
+	./scripts/check-docs.sh
+
+ci: check-docs build race bench

@@ -9,16 +9,26 @@
 //	ccsim -workload random -sched 2pl-woundwait -shards 16 -users 16
 //	ccsim -workload banking -sched 2pl-woundwait -backend kv -valuesize 4096
 //	ccsim -workload hotshard -sched 2pl-woundwait -shards 4 -batch 16 -backend kv
+//	ccsim -workload disjoint -sched cto -shards 4 -users 16
+//	ccsim -workload crosspairs -sched to -shards 4 -railstripes 8
 //
 // -shards 0 (default) runs the classic centralized scheduler goroutine;
 // -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
-// hash-partitioned scheduler state.
+// hash-partitioned scheduler state. -sched cto / cto-thomas select the
+// natively concurrent timestamp-ordering scheduler (lock-free sharded
+// atomic timestamp table, no shard mutexes, no ordering rail); it always
+// runs on the dispatch loops. For single-threaded schedulers behind the
+// Sharded combinator, -railstripes sets how many lock stripes the
+// cross-shard ordering rail is partitioned into (0 = one per shard; 1 =
+// the single-mutex degenerate).
 //
 // -batch N > 1 turns on batched dispatch: each loop drains up to N queued
-// requests and decides them in one scheduler critical section, and on the
-// concurrent engine commits flow through the storage group-commit pipeline
-// (undo logs discarded and locks released per group, asynchronously to the
-// committing users). -batch 1 (default) is the unbatched runtime.
+// requests (the bound adapts between 1 and N by observed backlog — AIMD —
+// so N is a cap) and decides them in one scheduler critical section. On
+// the concurrent engine commits always flow through the storage
+// group-commit pipeline (undo logs discarded and locks released per
+// group, asynchronously to the committing users); with -batch 1 (default,
+// the unbatched runtime) the groups are mostly singletons.
 //
 // -backend kv executes every granted step against the sharded in-memory
 // storage backend (payload size -valuesize) instead of only sleeping -exec:
@@ -79,9 +89,18 @@ func schedulerFactory(name string) (factory func() online.Scheduler, policy lock
 // schedulerByName builds the scheduler. shards == 0 keeps the classic
 // single-threaded scheduler behind the centralized scheduler goroutine;
 // shards >= 1 selects the concurrent engine with per-shard dispatch loops —
-// natively sharded strict 2PL for the 2PL family, the Sharded combinator
-// (with the cross-shard ordering rail) for everything else.
-func schedulerByName(name string, shards int) (online.Scheduler, bool) {
+// natively sharded strict 2PL for the 2PL family, native timestamp
+// ordering for cto/cto-thomas, and the Sharded combinator (with the
+// striped cross-shard ordering rail, railStripes wide; 0 = as wide as the
+// shard count) for everything else. cto is natively concurrent and always
+// runs on the dispatch loops, so -shards 0 behaves as one shard.
+func schedulerByName(name string, shards, railStripes int) (online.Scheduler, bool) {
+	switch name {
+	case "cto":
+		return online.NewConcurrentTO(max(shards, 1)), true
+	case "cto-thomas":
+		return online.NewConcurrentTOThomas(max(shards, 1)), true
+	}
 	factory, policy, is2PL, ok := schedulerFactory(name)
 	if !ok {
 		return nil, false
@@ -92,10 +111,13 @@ func schedulerByName(name string, shards int) (online.Scheduler, bool) {
 	if is2PL {
 		return online.NewConcurrentStrict2PL(policy, shards), true
 	}
+	if railStripes > 0 {
+		return online.NewShardedRail(shards, railStripes, factory), true
+	}
 	return online.NewSharded(shards, factory), true
 }
 
-func workloadByName(name string, seed int64) (*core.System, bool) {
+func workloadByName(name string, seed int64, jobs int) (*core.System, bool) {
 	switch name {
 	case "banking":
 		return workload.Banking(), true
@@ -109,6 +131,16 @@ func workloadByName(name string, seed int64) (*core.System, bool) {
 		return workload.LostUpdate(), true
 	case "hotshard":
 		return workload.HotShard(), true
+	case "disjoint":
+		// Sized to the job count: instantiating more jobs than template
+		// transactions would cycle and alias variables, silently breaking
+		// the workload's defining conflict-freeness.
+		return workload.Disjoint(max(jobs, 1), 3), true
+	case "crosspairs":
+		// Sized to the job count (two transactions per pair) for the same
+		// reason as disjoint: cycling the template would alias pair
+		// variables and break the pairwise-only-conflict shape.
+		return workload.CrossPairs(max(jobs, 2) / 2), true
 	case "tree":
 		return workload.PathWorkload(4, 4, seed), true
 	case "random":
@@ -120,11 +152,12 @@ func workloadByName(name string, seed int64) (*core.System, bool) {
 
 func main() {
 	var (
-		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|hotshard|tree|random")
-		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|occ|treelock")
+		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|hotshard|disjoint|crosspairs|tree|random")
+		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|cto|cto-thomas|occ|treelock")
 		jobs      = flag.Int("jobs", 32, "transaction instances to run")
 		users     = flag.Int("users", 8, "concurrent user goroutines")
 		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
+		stripes   = flag.Int("railstripes", 0, "lock stripes of the cross-shard ordering rail (0 = one per shard)")
 		batchSz   = flag.Int("batch", 1, "max requests decided per dispatch critical section; > 1 also enables group commit on the concurrent engine")
 		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv)")
 		valueSize = flag.Int("valuesize", 256, "payload bytes per stored record (kv backend)")
@@ -134,12 +167,12 @@ func main() {
 	)
 	flag.Parse()
 
-	template, ok := workloadByName(*wl, *seed)
+	template, ok := workloadByName(*wl, *seed, *jobs)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ccsim: unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
-	sched, ok := schedulerByName(*sc, *shards)
+	sched, ok := schedulerByName(*sc, *shards, *stripes)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ccsim: unknown scheduler %q\n", *sc)
 		os.Exit(2)

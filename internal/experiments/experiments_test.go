@@ -14,8 +14,8 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
 	}
 	for _, id := range order {
-		if id == "E4" || id == "E8" || id == "E9" {
-			continue // covered by TestE4Quick/TestE8Quick/TestE9Quick to keep the suite fast
+		if id == "E4" || id == "E8" || id == "E9" || id == "E11" {
+			continue // covered by the TestE*Quick variants to keep the suite fast
 		}
 		r, err := m[id]()
 		if err != nil {
@@ -93,6 +93,27 @@ func TestE10Quick(t *testing.T) {
 	}
 }
 
+func TestE11Quick(t *testing.T) {
+	r, err := E11Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E11 quick tables = %d", len(r.Tables))
+	}
+	// One native-TO, one Sharded(TO) and one 2PL row per shard count; the
+	// runner itself asserts the per-regime self-checks (state==replay on
+	// the disjoint regime, committed-schedule CSR on the skewed one).
+	for _, tbl := range r.Tables {
+		s := tbl.String()
+		for _, want := range []string{"cto(", "sharded(", "2pl-sharded("} {
+			if !strings.Contains(s, want) {
+				t.Errorf("E11 table missing %q rows:\n%s", want, s)
+			}
+		}
+	}
+}
+
 func TestNewBackendUnknown(t *testing.T) {
 	if _, err := NewBackend("bogus", 1, 0); err == nil {
 		t.Error("unknown backend accepted")
@@ -101,7 +122,7 @@ func TestNewBackendUnknown(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -126,11 +127,16 @@ type railRec struct {
 }
 
 // shardSlot is one shard of a Sharded scheduler: a shard-local
-// single-threaded scheduler plus the grant log feeding the rail.
+// single-threaded scheduler plus the grant log feeding the rail. srcBuf
+// and addBuf are reusable scratch for the rail conversation (conflict
+// sources and provisionally added edges), valid under mu — the per-step
+// rail path allocates nothing in steady state.
 type shardSlot struct {
-	mu    sync.Mutex
-	inner Scheduler
-	log   []railRec
+	mu     sync.Mutex
+	inner  Scheduler
+	log    []railRec
+	srcBuf []railNode
+	addBuf []railNode
 }
 
 // Sharded partitions variables across n shard-local copies of a
@@ -140,46 +146,59 @@ type shardSlot struct {
 // Cross-shard ordering rail: per-shard decisions alone cannot rule out a
 // conflict cycle threading through several shards (each edge lives inside
 // one shard, but multi-shard transactions connect them). When the system
-// spans more than one shard, the rail keeps a global transaction-level
-// conflict graph; a grant whose new edges would close a cycle is delayed
-// before the shard scheduler sees it. Edges are inserted atomically with
-// the cycle check and withdrawn if the shard scheduler rejects the step, so
-// the set of actually granted steps always stays acyclic and every complete
-// run is conflict-serializable. Cross-shard deadlocks are broken via the
-// merged waits-for view (WaitsForProvider) in Victim.
+// spans more than one shard, the rail keeps a transaction-level conflict
+// graph; a grant whose new edges would close a cycle is delayed before the
+// shard scheduler sees it. Edges are inserted atomically with the cycle
+// check and withdrawn if the shard scheduler rejects the step, so the set
+// of actually granted steps always stays acyclic and every complete run is
+// conflict-serializable. The graph is partitioned across lock stripes with
+// a union-style component map (see stripedRail): reservations touching
+// disjoint components never contend, and a conflict-free reservation takes
+// no rail lock at all. Cross-shard deadlocks are broken via the merged
+// waits-for view (WaitsForProvider) in Victim.
 //
 // On a single-shard system the rail is inert and every call reduces to a
 // locked delegation, so each wrapper realizes exactly the fixpoint set of
 // its single-threaded original — the replay-equivalence property the tests
 // check.
 type Sharded struct {
-	n       int
-	factory func() Scheduler
-	name    string
+	n           int
+	railStripes int
+	factory     func() Scheduler
+	name        string
 
 	sys      *core.System
 	shards   []*shardSlot
 	txShards [][]int
 
-	railOn    bool
-	railMu    sync.Mutex
-	epoch     []int
-	edges     map[railNode]map[railNode]bool
-	committed map[railNode]bool
+	railOn bool
+	rail   *stripedRail
 }
 
 // NewSharded returns a combinator running one factory-built scheduler per
-// shard (minimum 1) with the cross-shard ordering rail. The display name is
-// computed eagerly from one probe instance: lazy computation in Name would
-// race with concurrent dispatch when a run is reported while in flight.
+// shard (minimum 1) with the cross-shard ordering rail striped as widely as
+// the shard count. The display name is computed eagerly from one probe
+// instance: lazy computation in Name would race with concurrent dispatch
+// when a run is reported while in flight.
 func NewSharded(shards int, factory func() Scheduler) *Sharded {
+	return NewShardedRail(shards, shards, factory)
+}
+
+// NewShardedRail is NewSharded with an explicit rail stripe count
+// (minimum 1; 1 degenerates to a single-mutex rail, the PR 1 baseline
+// BenchmarkRailStripes compares against).
+func NewShardedRail(shards, railStripes int, factory func() Scheduler) *Sharded {
 	if shards < 1 {
 		shards = 1
 	}
+	if railStripes < 1 {
+		railStripes = 1
+	}
 	return &Sharded{
-		n:       shards,
-		factory: factory,
-		name:    fmt.Sprintf("sharded(%d)/%s", shards, factory().Name()),
+		n:           shards,
+		railStripes: railStripes,
+		factory:     factory,
+		name:        fmt.Sprintf("sharded(%d)/%s", shards, factory().Name()),
 	}
 }
 
@@ -217,74 +236,7 @@ func (s *Sharded) Begin(sys *core.System) {
 		}
 		sort.Ints(s.txShards[tx])
 	}
-	s.epoch = make([]int, sys.NumTxs())
-	s.edges = map[railNode]map[railNode]bool{}
-	s.committed = map[railNode]bool{}
-}
-
-// reachable reports whether any node in targets is reachable from start in
-// the rail graph. Caller holds railMu.
-func (s *Sharded) reachable(start railNode, targets map[railNode]bool) bool {
-	if len(targets) == 0 {
-		return false
-	}
-	seen := map[railNode]bool{}
-	stack := []railNode{start}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[u] {
-			continue
-		}
-		seen[u] = true
-		if targets[u] {
-			return true
-		}
-		for v := range s.edges[u] {
-			stack = append(stack, v)
-		}
-	}
-	return false
-}
-
-// reserve atomically checks that adding source→me edges keeps the rail
-// graph acyclic and inserts them, returning the edges that were new (for
-// withdrawal if the shard scheduler rejects the step) and whether the
-// reservation succeeded. Caller holds the shard mutex.
-func (s *Sharded) reserve(me railNode, sources []railNode) (added []railNode, ok bool) {
-	s.railMu.Lock()
-	defer s.railMu.Unlock()
-	targets := map[railNode]bool{}
-	for _, src := range sources {
-		if !s.edges[src][me] {
-			targets[src] = true
-		}
-	}
-	// A new edge src→me closes a cycle iff me already reaches src.
-	if s.reachable(me, targets) {
-		return nil, false
-	}
-	for src := range targets {
-		if s.edges[src] == nil {
-			s.edges[src] = map[railNode]bool{}
-		}
-		s.edges[src][me] = true
-		added = append(added, src)
-	}
-	return added, true
-}
-
-// withdraw removes provisionally inserted src→me edges after a shard-local
-// rejection.
-func (s *Sharded) withdraw(me railNode, added []railNode) {
-	s.railMu.Lock()
-	defer s.railMu.Unlock()
-	for _, src := range added {
-		delete(s.edges[src], me)
-		if len(s.edges[src]) == 0 {
-			delete(s.edges, src)
-		}
-	}
+	s.rail = newStripedRail(s.railStripes, sys.NumTxs())
 }
 
 // Try implements Scheduler: route the step to the shard owning its
@@ -324,27 +276,29 @@ func (s *Sharded) TryBatch(ids []core.StepID) []Decision {
 }
 
 // tryLocked decides one step against its shard scheduler, clearing the
-// grant with the rail first on multi-shard systems. Caller holds sh.mu.
+// grant with the rail first on multi-shard systems. Caller holds sh.mu,
+// which also makes the slot's scratch buffers (conflict sources, added
+// edges) safe to reuse — the whole rail conversation is allocation-free in
+// steady state.
 func (s *Sharded) tryLocked(sh *shardSlot, id core.StepID) Decision {
 	step := s.sys.Step(id)
 	if !s.railOn {
 		return sh.inner.Try(id)
 	}
-	s.railMu.Lock()
-	me := railNode{id.Tx, s.epoch[id.Tx]}
-	s.railMu.Unlock()
-	var sources []railNode
-	seen := map[railNode]bool{}
+	me := s.rail.node(id.Tx)
+	sh.srcBuf = sh.srcBuf[:0]
 	for _, rec := range sh.log {
-		if rec.n == me || seen[rec.n] {
+		if rec.n == me || slices.Contains(sh.srcBuf, rec.n) {
 			continue
 		}
 		if conflict.Conflicts(rec.step, step) {
-			seen[rec.n] = true
-			sources = append(sources, rec.n)
+			sh.srcBuf = append(sh.srcBuf, rec.n)
 		}
 	}
-	added, ok := s.reserve(me, sources)
+	added, ok := s.rail.reserve(me, sh.srcBuf, sh.addBuf[:0])
+	if added != nil {
+		sh.addBuf = added
+	}
 	if !ok {
 		return Delay
 	}
@@ -353,7 +307,7 @@ func (s *Sharded) tryLocked(sh *shardSlot, id core.StepID) Decision {
 		sh.log = append(sh.log, railRec{n: me, step: step})
 		return Grant
 	}
-	s.withdraw(me, added)
+	s.rail.withdraw(me, added)
 	return d
 }
 
@@ -369,11 +323,7 @@ func (s *Sharded) Commit(tx int) {
 	if !s.railOn {
 		return
 	}
-	s.railMu.Lock()
-	s.committed[railNode{tx, s.epoch[tx]}] = true
-	removed := s.prune()
-	s.railMu.Unlock()
-	s.purgeLogs(removed)
+	s.purgeLogs(s.rail.commit(tx))
 }
 
 // Abort implements Scheduler: notify touched shards, drop the incarnation's
@@ -388,45 +338,7 @@ func (s *Sharded) Abort(tx int) {
 	if !s.railOn {
 		return
 	}
-	s.railMu.Lock()
-	gone := railNode{tx, s.epoch[tx]}
-	s.epoch[tx]++
-	delete(s.edges, gone)
-	for _, m := range s.edges {
-		delete(m, gone)
-	}
-	delete(s.committed, gone)
-	removed := s.prune()
-	s.railMu.Unlock()
-	s.purgeLogs(append(removed, gone))
-}
-
-// prune removes committed rail nodes with no incoming edges: edges only
-// ever point from earlier grants to later ones, so such a node can never
-// rejoin a cycle. Caller holds railMu; the removed nodes' log entries must
-// be purged afterwards (without railMu held — shard mutex ordering).
-func (s *Sharded) prune() []railNode {
-	var removed []railNode
-	for {
-		indeg := map[railNode]int{}
-		for _, tos := range s.edges {
-			for to := range tos {
-				indeg[to]++
-			}
-		}
-		progress := false
-		for n := range s.committed {
-			if indeg[n] == 0 {
-				delete(s.edges, n)
-				delete(s.committed, n)
-				removed = append(removed, n)
-				progress = true
-			}
-		}
-		if !progress {
-			return removed
-		}
-	}
+	s.purgeLogs(s.rail.abortTx(tx))
 }
 
 // purgeLogs drops the removed nodes' entries from every shard grant log.

@@ -25,6 +25,12 @@
 //   - TO: Basic timestamp ordering, optionally with the Thomas write rule.
 //   - OCC: optimistic execution with backward validation at commit
 //     (Kung–Robinson style serial validation).
+//
+// The concurrent runtime's contract and combinators (ConcurrentScheduler,
+// Mutexed, Sharded with the striped cross-shard ordering rail) live in
+// concurrent.go/rail.go, with two natively concurrent schedulers:
+// ConcurrentStrict2PL (sharded lock table) and ConcurrentTO (lock-free
+// sharded atomic timestamp table).
 package online
 
 import (

@@ -1,0 +1,432 @@
+package online
+
+import (
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stripedRail is the partitioned cross-shard ordering rail. The PR 1 rail
+// kept one global conflict graph behind one mutex, so every multi-shard
+// reservation serialized on it and paid a full reachability walk with
+// per-call map allocations. The striped rail removes both costs:
+//
+//   - The graph is partitioned into per-component subgraphs. A cheap
+//     union-style component map (union-find under compMu, whose critical
+//     sections are a few pointer chases) tracks which nodes can possibly
+//     be connected; subgraphs are keyed by component root and owned by the
+//     stripe the root hashes to, each stripe behind its own mutex.
+//   - A reservation locks only the stripes owning the components it
+//     touches. If no source shares the requester's component, no path
+//     back to any source can exist — connectivity in the edge graph is
+//     always a subset of the component relation — so the edges are
+//     inserted with no cycle check at all; reservations on disjoint
+//     components proceed in parallel on different stripes. Only a
+//     same-component source forces the exact DFS, which runs entirely
+//     inside that one component's subgraph under its single stripe lock.
+//   - The DFS and the prune sweep reuse per-stripe scratch buffers
+//     (visited-stamp maps, stacks, in-degree maps) instead of allocating
+//     per call.
+//
+// Locking protocol (deadlock-free by construction):
+//
+//   - stripe mutexes are always acquired in ascending index order;
+//   - compMu nests strictly inside stripe mutexes (it is never held while
+//     acquiring a stripe mutex);
+//   - a component root can only be absorbed into another component by a
+//     thread holding the root's stripe mutex, so once a thread holds the
+//     stripes covering its roots (validated under compMu), those roots —
+//     and their subgraphs — are stable until it unlocks.
+//
+// Union-find entries are never deleted: a retired node may live on as a
+// pure component label (splitting the map could break the connectivity
+// invariant). The maps are per-run (rebuilt by Begin), so this is bounded
+// by the run's incarnation count, exactly like the old rail's maps.
+//
+// Epoch/withdraw semantics are unchanged from the single-mutex rail: an
+// aborted incarnation's node leaves the graph and the transaction gets a
+// fresh epoch; provisionally inserted edges are withdrawn when the shard
+// scheduler rejects the step. Withdrawal does not un-merge components —
+// the component map stays a conservative over-approximation, which can
+// only cost an unnecessary exact check, never miss a cycle.
+type stripedRail struct {
+	stripes []railStripe
+	epoch   []atomic.Int64
+
+	compMu sync.Mutex
+	parent map[railNode]railNode // union-find; missing entry = self root
+}
+
+// railStripe owns the subgraphs of the components whose roots hash to it,
+// plus the reusable scratch its DFS and prune sweeps run on.
+type railStripe struct {
+	mu   sync.Mutex
+	subs map[railNode]*railSub
+
+	visited map[railNode]int // DFS visited-stamp scratch
+	stamp   int
+	stack   []railNode
+	indeg   map[railNode]int // prune scratch
+}
+
+// railSub is one component's subgraph: its edges and committed nodes.
+type railSub struct {
+	edges     map[railNode]map[railNode]bool
+	committed map[railNode]bool
+}
+
+func newStripedRail(stripes, numTxs int) *stripedRail {
+	if stripes < 1 {
+		stripes = 1
+	}
+	r := &stripedRail{
+		stripes: make([]railStripe, stripes),
+		epoch:   make([]atomic.Int64, numTxs),
+		parent:  map[railNode]railNode{},
+	}
+	for i := range r.stripes {
+		r.stripes[i].subs = map[railNode]*railSub{}
+		r.stripes[i].visited = map[railNode]int{}
+		r.stripes[i].indeg = map[railNode]int{}
+	}
+	return r
+}
+
+// node returns the transaction's current incarnation.
+func (r *stripedRail) node(tx int) railNode {
+	return railNode{tx: tx, epoch: int(r.epoch[tx].Load())}
+}
+
+// stripeOf maps a component root to the stripe owning its subgraph.
+func (r *stripedRail) stripeOf(n railNode) int {
+	h := uint32(n.tx)*2654435761 ^ uint32(n.epoch)*40503
+	return int(h % uint32(len(r.stripes)))
+}
+
+// find returns n's component root with path compression. Caller holds
+// compMu.
+func (r *stripedRail) find(n railNode) railNode {
+	root := n
+	for {
+		p, ok := r.parent[root]
+		if !ok || p == root {
+			break
+		}
+		root = p
+	}
+	for n != root {
+		p := r.parent[n]
+		r.parent[n] = root
+		n = p
+	}
+	return root
+}
+
+// lockComp locks the stripe owning n's component and returns the current
+// root and stripe index. It retries when a concurrent union moves the root
+// to another stripe between the lookup and the lock; every retry consumes
+// a union, so the loop terminates. Caller unlocks stripes[stripe].mu.
+func (r *stripedRail) lockComp(n railNode) (root railNode, stripe int) {
+	for {
+		r.compMu.Lock()
+		root = r.find(n)
+		r.compMu.Unlock()
+		stripe = r.stripeOf(root)
+		r.stripes[stripe].mu.Lock()
+		r.compMu.Lock()
+		root = r.find(n)
+		ok := r.stripeOf(root) == stripe
+		r.compMu.Unlock()
+		if ok {
+			return root, stripe
+		}
+		r.stripes[stripe].mu.Unlock()
+	}
+}
+
+// reserve atomically checks that adding source→me edges keeps the rail
+// graph acyclic and inserts them, returning the edges that were new (for
+// withdrawal if the shard scheduler rejects the step) and whether the
+// reservation succeeded. added is appended into buf, so a caller with a
+// reusable buffer allocates nothing. Caller holds the requesting shard's
+// slot mutex (never a stripe mutex).
+func (r *stripedRail) reserve(me railNode, sources []railNode, buf []railNode) (added []railNode, ok bool) {
+	added = buf[:0]
+	if len(sources) == 0 {
+		// No conflicting predecessors: no edges, no cycle, no locks.
+		return added, true
+	}
+	var lockBuf [8]int
+	for attempt := 0; ; attempt++ {
+		// Snapshot the stripes covering every involved component root.
+		locked := lockBuf[:0]
+		if attempt >= 2 {
+			// Concurrent unions moved a root out of our snapshot twice:
+			// escalate to every stripe, which cannot fail validation.
+			for i := range r.stripes {
+				locked = append(locked, i)
+			}
+		} else {
+			r.compMu.Lock()
+			locked = append(locked, r.stripeOf(r.find(me)))
+			for _, src := range sources {
+				if s := r.stripeOf(r.find(src)); !slices.Contains(locked, s) {
+					locked = append(locked, s)
+				}
+			}
+			r.compMu.Unlock()
+			sort.Ints(locked)
+		}
+		for _, s := range locked {
+			r.stripes[s].mu.Lock()
+		}
+		// Re-resolve the roots under the locks; if they all still live on
+		// locked stripes they are pinned until we unlock.
+		r.compMu.Lock()
+		meRoot := r.find(me)
+		valid := slices.Contains(locked, r.stripeOf(meRoot))
+		var srcRoots []railNode // foreign roots to merge (unique)
+		sameComp := false
+		for _, src := range sources {
+			root := r.find(src)
+			if !slices.Contains(locked, r.stripeOf(root)) {
+				valid = false
+				break
+			}
+			if root == meRoot {
+				sameComp = true
+			} else if !slices.Contains(srcRoots, root) {
+				srcRoots = append(srcRoots, root)
+			}
+		}
+		if !valid {
+			r.compMu.Unlock()
+			for _, s := range locked {
+				r.stripes[s].mu.Unlock()
+			}
+			continue
+		}
+		r.compMu.Unlock()
+
+		meStripe := r.stripeOf(meRoot)
+		st := &r.stripes[meStripe]
+		sub := st.subs[meRoot]
+		if sameComp && sub != nil {
+			// Exact check, scoped to me's component: a new edge src→me
+			// closes a cycle iff me already reaches src. Sources in
+			// foreign components cannot be reached — a path would have
+			// unioned them — so only same-component sources lacking their
+			// edge are targets.
+			st.stack = st.stack[:0]
+			for _, src := range sources {
+				if src == meRoot || r.sameRoot(src, meRoot) {
+					if !sub.edges[src][me] {
+						st.stack = append(st.stack, src)
+					}
+				}
+			}
+			targets := st.stack
+			if st.reaches(sub, me, targets) {
+				for _, s := range locked {
+					r.stripes[s].mu.Unlock()
+				}
+				return nil, false
+			}
+		}
+		// Merge foreign components into me's (union before the edges become
+		// visible, keeping connectivity ⊆ component relation), then insert.
+		if len(srcRoots) > 0 {
+			r.compMu.Lock()
+			for _, root := range srcRoots {
+				r.parent[root] = meRoot
+			}
+			r.compMu.Unlock()
+		}
+		if sub == nil {
+			sub = &railSub{edges: map[railNode]map[railNode]bool{}, committed: map[railNode]bool{}}
+			st.subs[meRoot] = sub
+		}
+		for _, root := range srcRoots {
+			os := &r.stripes[r.stripeOf(root)]
+			if other := os.subs[root]; other != nil {
+				for from, tos := range other.edges {
+					if cur := sub.edges[from]; cur == nil {
+						sub.edges[from] = tos
+					} else {
+						for to := range tos {
+							cur[to] = true
+						}
+					}
+				}
+				for n := range other.committed {
+					sub.committed[n] = true
+				}
+				delete(os.subs, root)
+			}
+		}
+		for _, src := range sources {
+			m := sub.edges[src]
+			if m == nil {
+				m = map[railNode]bool{}
+				sub.edges[src] = m
+			}
+			if !m[me] {
+				m[me] = true
+				added = append(added, src)
+			}
+		}
+		for _, s := range locked {
+			r.stripes[s].mu.Unlock()
+		}
+		return added, true
+	}
+}
+
+// sameRoot reports whether n's component root is root. Called with the
+// root's stripe held, so the answer is stable.
+func (r *stripedRail) sameRoot(n, root railNode) bool {
+	r.compMu.Lock()
+	same := r.find(n) == root
+	r.compMu.Unlock()
+	return same
+}
+
+// reaches reports whether any node in targets is reachable from start in
+// sub. It reuses the stripe's visited-stamp scratch: no allocation on the
+// steady-state path. Caller holds the stripe's mutex; targets aliases the
+// stripe's stack scratch, so the walk uses a local continuation index
+// rather than the shared stack slice.
+func (st *railStripe) reaches(sub *railSub, start railNode, targets []railNode) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	st.stamp++
+	if len(st.visited) > 4096 {
+		// Bound scratch growth across long runs; stamps make stale entries
+		// harmless, this only caps memory.
+		st.visited = make(map[railNode]int)
+	}
+	head := len(targets) // frontier lives after the targets in st.stack
+	st.stack = append(st.stack, start)
+	for len(st.stack) > head {
+		u := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		if st.visited[u] == st.stamp {
+			continue
+		}
+		st.visited[u] = st.stamp
+		for _, t := range st.stack[:head] {
+			if u == t {
+				return true
+			}
+		}
+		for v := range sub.edges[u] {
+			st.stack = append(st.stack, v)
+		}
+	}
+	return false
+}
+
+// withdraw removes provisionally inserted src→me edges after a shard-local
+// rejection. All of them live in me's component (reserve unioned before
+// inserting, and components only merge).
+func (r *stripedRail) withdraw(me railNode, added []railNode) {
+	if len(added) == 0 {
+		return
+	}
+	root, stripe := r.lockComp(me)
+	st := &r.stripes[stripe]
+	if sub := st.subs[root]; sub != nil {
+		for _, src := range added {
+			if m := sub.edges[src]; m != nil {
+				delete(m, me)
+				if len(m) == 0 {
+					delete(sub.edges, src)
+				}
+			}
+		}
+	}
+	st.mu.Unlock()
+}
+
+// commit retires the transaction's current incarnation: the node is marked
+// committed and its component pruned. It returns the removed nodes, whose
+// grant-log entries the caller must purge (outside any rail lock).
+func (r *stripedRail) commit(tx int) []railNode {
+	me := r.node(tx)
+	root, stripe := r.lockComp(me)
+	st := &r.stripes[stripe]
+	sub := st.subs[root]
+	var removed []railNode
+	if sub == nil {
+		// Edgeless singleton: retires immediately.
+		removed = []railNode{me}
+	} else {
+		sub.committed[me] = true
+		removed = st.prune(sub)
+		if len(sub.edges) == 0 && len(sub.committed) == 0 {
+			delete(st.subs, root)
+		}
+	}
+	st.mu.Unlock()
+	return removed
+}
+
+// abortTx drops the incarnation's node from its component, prunes, and
+// starts a fresh epoch. It returns the pruned nodes plus the dropped node
+// itself for log purging.
+func (r *stripedRail) abortTx(tx int) []railNode {
+	gone := r.node(tx)
+	root, stripe := r.lockComp(gone)
+	r.epoch[tx].Add(1)
+	st := &r.stripes[stripe]
+	removed := []railNode{gone}
+	if sub := st.subs[root]; sub != nil {
+		delete(sub.edges, gone)
+		for src, m := range sub.edges {
+			if m[gone] {
+				delete(m, gone)
+				if len(m) == 0 {
+					delete(sub.edges, src)
+				}
+			}
+		}
+		delete(sub.committed, gone)
+		removed = append(removed, st.prune(sub)...)
+		if len(sub.edges) == 0 && len(sub.committed) == 0 {
+			delete(st.subs, root)
+		}
+	}
+	st.mu.Unlock()
+	return removed
+}
+
+// prune removes committed nodes with no incoming edges from sub: edges only
+// ever point from earlier grants to later ones, so such a node can never
+// rejoin a cycle. The sweep is scoped to one component — a removal can only
+// unblock successors inside the same subgraph. Reuses the stripe's
+// in-degree scratch; caller holds the stripe's mutex.
+func (st *railStripe) prune(sub *railSub) []railNode {
+	var removed []railNode
+	for {
+		clear(st.indeg)
+		for _, tos := range sub.edges {
+			for to := range tos {
+				st.indeg[to]++
+			}
+		}
+		progress := false
+		for n := range sub.committed {
+			if st.indeg[n] == 0 {
+				delete(sub.edges, n)
+				delete(sub.committed, n)
+				removed = append(removed, n)
+				progress = true
+			}
+		}
+		if !progress {
+			return removed
+		}
+	}
+}

@@ -26,16 +26,20 @@
 //
 // Batching (Config.Batch > 1) amortizes the per-request overhead on hot
 // shards in two places. Intake coalescing: a dispatch loop drains up to
-// Batch queued requests per select iteration and decides them in one
-// scheduler critical section (online.TryBatch — a single shard-mutex
-// acquisition for the natively batched schedulers), and the parked-retry
-// scan reuses the same batch path chunk by chunk. Group commit: finishing
-// transactions enqueue into a storage.GroupCommitter lane and continue;
-// the lane discards a whole group's undo logs and releases their scheduler
-// locks in one wakeup, with a single kick of the dispatch loops per group
-// (async lock release — commit processing leaves the user goroutine
-// entirely). Batch <= 1 is exactly the original one-request-per-iteration
-// runtime.
+// its current bound per select iteration — Config.Batch is a cap; the
+// bound itself adapts by AIMD on the observed backlog (batchSizer),
+// growing additively under load and halving toward 1 as the queue drains
+// — and decides the batch in one scheduler critical section
+// (online.TryBatch — a single shard-mutex acquisition for the natively
+// batched schedulers), with the parked-retry scan reusing the same batch
+// path chunk by chunk. Group commit: finishing transactions enqueue into
+// a storage.GroupCommitter lane in both modes; the lane discards a whole
+// group's undo logs and releases their scheduler locks in one wakeup,
+// with a single kick of the dispatch loops per group (async lock release
+// — commit processing leaves the user goroutine entirely). With Batch <=
+// 1 the decision path is exactly the original one-request-per-iteration
+// runtime and commit groups are mostly singletons driven inline by their
+// own committer.
 package sim
 
 import (
@@ -283,17 +287,18 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	}
 
 	// retryParked re-offers a shard's parked requests, chunked through the
-	// batch path (one scheduler critical section per chunk), until a full
-	// scan makes no progress.
-	retryParked := func(ss *shardState) {
-		var reqs []request // lazily grown; unused on the scalar (batch 1) path
+	// batch path (one scheduler critical section per chunk, chunk size =
+	// the loop's current adaptive bound), until a full scan makes no
+	// progress.
+	retryParked := func(ss *shardState, bound int) {
+		var reqs []request // lazily grown; unused on the scalar (bound 1) path
 		for {
 			progressed := false
 			ss.mu.Lock()
 			n := len(ss.parked)
 			kept := ss.parked[:0]
-			for start := 0; start < n; start += batch {
-				end := start + batch
+			for start := 0; start < n; start += bound {
+				end := start + bound
 				if end > n {
 					end = n
 				}
@@ -424,18 +429,21 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	}()
 
 	// Per-shard dispatch loops. Intake is coalesced: everything queued on
-	// the request channel (up to the batch bound) is drained and decided in
-	// one critical section, instead of one select iteration — one channel
-	// hop, one retry scan, one deadlock precheck — per request.
+	// the request channel (up to the loop's adaptive bound, AIMD-adjusted
+	// between 1 and Config.Batch by the observed backlog) is drained and
+	// decided in one critical section, instead of one select iteration —
+	// one channel hop, one retry scan, one deadlock precheck — per request.
 	for i := range shards {
 		go func(ss *shardState) {
+			sizer := newBatchSizer(batch)
 			intake := make([]request, 0, batch)
 			for {
 				select {
 				case r := <-ss.reqCh:
+					bound := sizer.bound()
 					intake = append(intake[:0], r)
 				drain:
-					for len(intake) < batch {
+					for len(intake) < bound {
 						select {
 						case r2 := <-ss.reqCh:
 							intake = append(intake, r2)
@@ -443,6 +451,7 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							break drain
 						}
 					}
+					sizer.observe(len(intake))
 					parkedNew := 0
 					if len(intake) == 1 {
 						if !decideOne(intake[0], false) {
@@ -472,9 +481,9 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							triggerBreak()
 						}
 					}
-					retryParked(ss)
+					retryParked(ss, sizer.bound())
 				case <-ss.kick:
-					retryParked(ss)
+					retryParked(ss, sizer.bound())
 				case <-done:
 					return
 				}
@@ -482,27 +491,31 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		}(shards[i])
 	}
 
-	// Group commit (Batch > 1): finishing users enqueue into a per-lane
-	// commit pipeline instead of committing inline; the lane's driver (the
-	// first committer to find it idle — a live user goroutine, so no wakeup
-	// handoff) discards a whole group's undo logs while their locks are
-	// still held, then releases the group's scheduler locks and kicks the
-	// dispatch loops once. The breaker stays disabled until the group's
-	// release completes (committingCount is decremented last), preserving
-	// the "a pending commit always arrives" argument. Lanes partition by
+	// Group commit: finishing users enqueue into a per-lane commit pipeline
+	// instead of committing inline; the lane's driver (the first committer
+	// to find it idle — a live user goroutine, so no wakeup handoff)
+	// discards a whole group's undo logs while their locks are still held,
+	// then releases the group's scheduler locks and kicks the dispatch
+	// loops once. The breaker stays disabled until the group's release
+	// completes (committingCount is decremented last), preserving the "a
+	// pending commit always arrives" argument. Lanes partition by
 	// transaction id, NOT by shard (a transaction's locks may span shards,
 	// so a shard partition of commits does not exist); the shard count is
 	// only borrowed as a concurrency heuristic for how many lanes to run.
-	var gc *storage.GroupCommitter
-	if batch > 1 {
-		gc = storage.NewGroupCommitter(cfg.Backend, cs.NumShards(), func(txs []int) {
-			for _, tx := range txs {
-				cs.Commit(tx)
-			}
-			kickAll()
-			committingCount.Add(-int64(len(txs)))
-		})
-	}
+	//
+	// Both modes commit through the lanes: with Batch <= 1 a lane's groups
+	// are usually singletons (an idle lane makes its enqueuer the driver,
+	// which is exactly the old inline commit), but whenever commits pile up
+	// on a lane the followers return immediately and the driver releases
+	// their locks for them — asynchronous lock release no longer depends on
+	// batching being enabled.
+	gc := storage.NewGroupCommitter(cfg.Backend, cs.NumShards(), func(txs []int) {
+		for _, tx := range txs {
+			cs.Commit(tx)
+		}
+		kickAll()
+		committingCount.Add(-int64(len(txs)))
+	})
 
 	// User goroutines: one terminal per user, jobs assigned round-robin;
 	// each request goes to the dispatch loop of the shard owning its
@@ -567,19 +580,10 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							// undo log while locks are still held, then the
 							// scheduler releases them, then the other shards
 							// are kicked to retry; only then may the breaker
-							// resume (committingCount). With group commit the
-							// same sequence runs on the pipeline lane for a
-							// whole group at a time.
-							if gc != nil {
-								gc.Enqueue(tx)
-							} else {
-								if cfg.Backend != nil {
-									cfg.Backend.Commit(tx)
-								}
-								cs.Commit(tx)
-								kickAll()
-								committingCount.Add(-1)
-							}
+							// resume (committingCount). The sequence runs on
+							// the commit pipeline's lane — inline for a lone
+							// committer, on the lane driver for a group.
+							gc.Enqueue(tx)
 						}
 					}
 					if failed || !restart {
@@ -606,14 +610,12 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	}
 	close(jobCh)
 	wg.Wait()
-	if gc != nil {
-		// Flush the commit pipeline before stopping the loops: pending
-		// groups still need their undo logs discarded and locks released,
-		// and the metrics below must see a quiesced backend.
-		gc.Close()
-		groups, txs := gc.Stats()
-		m.CommitGroups, m.GroupCommits = int(groups), int(txs)
-	}
+	// Flush the commit pipeline before stopping the loops: pending groups
+	// still need their undo logs discarded and locks released, and the
+	// metrics below must see a quiesced backend.
+	gc.Close()
+	groups, txs := gc.Stats()
+	m.CommitGroups, m.GroupCommits = int(groups), int(txs)
 	close(done)
 	m.Elapsed = time.Since(start)
 	if err := errs.get(); err != nil {

@@ -56,16 +56,20 @@ type Config struct {
 	// Users is the number of concurrent user goroutines; jobs are assigned
 	// round-robin. Zero means one user per job.
 	Users int
-	// Batch bounds how many queued step requests a dispatch loop decides in
+	// Batch caps how many queued step requests a dispatch loop decides in
 	// one scheduler critical section (intake coalescing; 0 or 1 = one
-	// request per loop iteration, the unbatched runtime). On the sharded
-	// engine a value > 1 also enables the storage group-commit pipeline:
-	// a finishing transaction enqueues its commit, and the lane's driver —
+	// request per loop iteration, the unbatched runtime). The effective
+	// bound is adaptive: each loop grows it additively while its queue
+	// shows backlog and halves it toward 1 as the queue drains (AIMD), so
+	// a large Batch costs nothing on thin traffic. On the sharded engine
+	// every commit flows through the storage group-commit pipeline: a
+	// finishing transaction enqueues its commit, and the lane's driver —
 	// the first committer to find the lane idle — discards undo logs and
 	// releases scheduler locks for the whole accumulated group in one
-	// sweep, asynchronously to every follower (async lock release). The
-	// granted-step log and all invariants are unchanged; only the batching
-	// of decisions and commit processing differs.
+	// sweep, asynchronously to every follower (async lock release; a lone
+	// committer drives its own singleton group, which is the old inline
+	// commit). The granted-step log and all invariants are unchanged; only
+	// the batching of decisions and commit processing differs.
 	Batch int
 	// ExecTime adds a simulated per-step execution cost on top of any
 	// backend work (0 = none). It is slept on the user goroutine after the
@@ -90,9 +94,10 @@ type Metrics struct {
 	// transaction was blocked.
 	DeadlockBreaks int
 	// CommitGroups and GroupCommits report the group-commit pipeline's
-	// coalescing (zero when group commit is off, i.e. Batch <= 1 or the
-	// centralized runtime): groups processed and transactions committed
-	// through them.
+	// coalescing: groups processed and transactions committed through
+	// them. The sharded engine commits through the pipeline in both modes
+	// (unbatched groups are mostly singletons); both are zero on the
+	// centralized runtime, which has no pipeline.
 	CommitGroups, GroupCommits int
 	// WaitNs records per-request waiting time (delay until grant/abort).
 	WaitNs report.Histogram
@@ -420,16 +425,22 @@ func Run(cfg Config) (*Metrics, error) {
 	// With Batch > 1 it coalesces its intake: everything queued on a channel
 	// is drained opportunistically and processed under one critical section
 	// — one parked-retry scan and one deadlock check per batch instead of
-	// one per request/commit.
+	// one per request/commit. The coalescing bound adapts (AIMD on observed
+	// backlog, batchSizer) so Batch is the cap, not a fixed size; each
+	// channel has its own sizer — commit drains are often singletons, and a
+	// shared bound would let them keep halving what the request path earned.
 	go func() {
+		reqSizer := newBatchSizer(batch)
+		commitSizer := newBatchSizer(batch)
 		reqBuf := make([]request, 0, batch)
 		commitBuf := make([]int, 0, batch)
 		for {
 			select {
 			case r := <-reqCh:
+				bound := reqSizer.bound()
 				reqBuf = append(reqBuf[:0], r)
 			reqDrain:
-				for len(reqBuf) < batch {
+				for len(reqBuf) < bound {
 					select {
 					case r2 := <-reqCh:
 						reqBuf = append(reqBuf, r2)
@@ -437,6 +448,7 @@ func Run(cfg Config) (*Metrics, error) {
 						break reqDrain
 					}
 				}
+				reqSizer.observe(len(reqBuf))
 				mu.Lock()
 				for _, r := range reqBuf {
 					if v, decided := tryRequest(r); decided {
@@ -449,9 +461,10 @@ func Run(cfg Config) (*Metrics, error) {
 				checkDeadlock()
 				mu.Unlock()
 			case tx := <-commitCh:
+				bound := commitSizer.bound()
 				commitBuf = append(commitBuf[:0], tx)
 			commitDrain:
-				for len(commitBuf) < batch {
+				for len(commitBuf) < bound {
 					select {
 					case tx2 := <-commitCh:
 						commitBuf = append(commitBuf, tx2)
@@ -459,6 +472,7 @@ func Run(cfg Config) (*Metrics, error) {
 						break commitDrain
 					}
 				}
+				commitSizer.observe(len(commitBuf))
 				mu.Lock()
 				for _, tx := range commitBuf {
 					delete(committing, tx)

@@ -5,8 +5,9 @@
 // accounts A, B with audit sum S and counter C), the Figure 1 system, the
 // Theorem 2 adversary, and the small conflict patterns (cross, chain, lost
 // update) used across experiments. Generators: seeded random systems with
-// tunable contention, and a hierarchical (tree) access workload for the
-// Section 5.5 structured-data experiments. Payload sizers (UniformPayload,
+// tunable contention, a hierarchical (tree) access workload for the
+// Section 5.5 structured-data experiments, and the engine-stress shapes
+// (hot-shard, disjoint, cross-shard pairs) the runtime experiments sweep. Payload sizers (UniformPayload,
 // HotColdPayload) attach value payloads to a workload's variables for the
 // real-storage experiments (internal/storage).
 package workload
@@ -212,6 +213,57 @@ func HotShardDisjoint(jobs, shards int) *core.System {
 			{Var: name, Kind: core.Update, Fn: inc},
 			{Var: name, Kind: core.Update, Fn: inc},
 		}})
+	}
+	return sys.Normalize()
+}
+
+// Disjoint returns jobs transactions that each update a private variable
+// `steps` times, with no shard forcing: the variables hash across every
+// shard of any partition, so the dispatch load spreads while the lock
+// table, the timestamp table and the ordering rail see zero conflicts.
+// This is the workload where a scheduler's per-step overhead is the whole
+// cost — experiment E11 and BenchmarkNativeTOVsShardedTO use it to compare
+// the natively concurrent timestamp-ordering scheduler against the
+// Sharded(TO) combinator.
+func Disjoint(jobs, steps int) *core.System {
+	if steps < 1 {
+		steps = 1
+	}
+	sys := &core.System{Name: fmt.Sprintf("disjoint-%dx%d", jobs, steps)}
+	inc := func(l []core.Value) core.Value { return last(l) + 1 }
+	for i := 0; i < jobs; i++ {
+		name := core.Var(fmt.Sprintf("d%d", i))
+		tx := core.Transaction{}
+		for s := 0; s < steps; s++ {
+			tx.Steps = append(tx.Steps, core.Step{Var: name, Kind: core.Update, Fn: inc})
+		}
+		sys.Txs = append(sys.Txs, tx)
+	}
+	return sys.Normalize()
+}
+
+// CrossPairs returns `pairs` independent transaction pairs: the two
+// transactions of pair i each update a private variable, then the pair's
+// shared variable, then the private variable again. Every transaction
+// spans shards (the private and shared variables hash independently) and
+// conflicts only with its partner, so the ordering rail sees a steady
+// stream of multi-shard reservations forming many small two-node
+// components — the regime where rail striping pays and a single-mutex
+// rail serializes everything. BenchmarkRailStripes and the rail dispatch
+// tests use it.
+func CrossPairs(pairs int) *core.System {
+	sys := &core.System{Name: fmt.Sprintf("crosspairs-%d", pairs)}
+	inc := func(l []core.Value) core.Value { return last(l) + 1 }
+	for i := 0; i < pairs; i++ {
+		shared := core.Var(fmt.Sprintf("s%d", i))
+		for j := 0; j < 2; j++ {
+			private := core.Var(fmt.Sprintf("p%d_%d", i, j))
+			sys.Txs = append(sys.Txs, core.Transaction{Steps: []core.Step{
+				{Var: private, Kind: core.Update, Fn: inc},
+				{Var: shared, Kind: core.Update, Fn: inc},
+				{Var: private, Kind: core.Update, Fn: inc},
+			}})
+		}
 	}
 	return sys.Normalize()
 }
