@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json check-docs ci
+.PHONY: build test race bench bench-json bench-diff check-docs ci
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,12 @@ bench:
 # touches the engine refreshes its BENCH_PR<n>.json so the repository
 # accumulates a throughput trajectory that later PRs can diff against.
 bench-json:
-	$(GO) run ./cmd/ccbench -exp E8,E10,E11 -json > BENCH_PR4.json
+	$(GO) run ./cmd/ccbench -exp E8,E10,E11 -json > BENCH_PR5.json
+
+# Per-experiment throughput delta between the two newest snapshots
+# (version-sorted, so PR10 follows PR9). See cmd/benchdiff.
+bench-diff:
+	$(GO) run ./cmd/benchdiff $$(ls BENCH_PR*.json | sort -V | tail -2)
 
 check-docs:
 	./scripts/check-docs.sh

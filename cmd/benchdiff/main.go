@@ -1,0 +1,128 @@
+// Command benchdiff compares two machine-readable benchmark snapshots
+// (the BENCH_PR*.json files emitted by `ccbench -json`, one per PR) and
+// prints the per-experiment throughput deltas, so a PR's measured
+// before/after effect on the runtime is one `make bench-diff` away.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Tables are matched by experiment id and table title, rows by position
+// (the sweeps are deterministic grids, so row i of a table is the same
+// configuration in both snapshots; the first cell labels it). Every
+// column whose header contains "tx/s" is treated as a throughput column.
+// Experiments or tables present in only one snapshot are reported and
+// skipped. The exit status is always 0 — the deltas are a measurement,
+// not a gate; the enforced regression gates are the allocation ceilings
+// in internal/sim.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonResult struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Tables []jsonTable `json:"tables"`
+}
+
+func load(path string) ([]jsonResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []jsonResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// throughputCol returns the index of the throughput column, or -1.
+func throughputCol(headers []string) int {
+	for i, h := range headers {
+		if strings.Contains(h, "tx/s") {
+			return i
+		}
+	}
+	return -1
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldPath, newPath := os.Args[1], os.Args[2]
+	oldRes, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	oldByID := map[string]jsonResult{}
+	for _, r := range oldRes {
+		oldByID[r.ID] = r
+	}
+
+	fmt.Printf("throughput delta: %s → %s\n\n", oldPath, newPath)
+	for _, nr := range newRes {
+		or, ok := oldByID[nr.ID]
+		if !ok {
+			fmt.Printf("%s: only in %s, skipped\n", nr.ID, newPath)
+			continue
+		}
+		oldTables := map[string]jsonTable{}
+		for _, t := range or.Tables {
+			oldTables[t.Title] = t
+		}
+		var deltas []float64
+		for _, nt := range nr.Tables {
+			ot, ok := oldTables[nt.Title]
+			if !ok {
+				fmt.Printf("%s: table %q only in %s, skipped\n", nr.ID, nt.Title, newPath)
+				continue
+			}
+			col := throughputCol(nt.Headers)
+			if col < 0 || throughputCol(ot.Headers) != col {
+				continue // no comparable throughput column
+			}
+			fmt.Printf("%s · %s\n", nr.ID, nt.Title)
+			for i, row := range nt.Rows {
+				if i >= len(ot.Rows) || col >= len(row) || col >= len(ot.Rows[i]) {
+					break
+				}
+				nv, err1 := strconv.ParseFloat(row[col], 64)
+				ov, err2 := strconv.ParseFloat(ot.Rows[i][col], 64)
+				if err1 != nil || err2 != nil || ov == 0 {
+					continue
+				}
+				d := 100 * (nv - ov) / ov
+				deltas = append(deltas, d)
+				fmt.Printf("  %-42s %12.1f → %12.1f  %+7.1f%%\n", row[0], ov, nv, d)
+			}
+		}
+		if len(deltas) > 0 {
+			sum := 0.0
+			for _, d := range deltas {
+				sum += d
+			}
+			fmt.Printf("%s mean delta: %+.1f%% over %d rows\n\n", nr.ID, sum/float64(len(deltas)), len(deltas))
+		}
+	}
+}

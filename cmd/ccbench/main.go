@@ -12,6 +12,13 @@
 //	ccbench -exp E9 -backend kv                # real-storage execution sweep
 //	ccbench -exp E10 -batch 1,16,64 -users 8   # batched-dispatch sweep
 //	ccbench -exp E11 -shards 1,4 -railstripes 8  # native-TO / rail sweep
+//
+// Profiling and allocation measurement (the perf workflow behind the
+// zero-allocation hot path, DESIGN.md "Memory discipline"):
+//
+//	ccbench -exp E10 -cpuprofile cpu.pprof   # CPU profile of the sweep
+//	ccbench -exp E10 -memprofile mem.pprof   # heap profile at exit
+//	ccbench -exp E8,E10,E11 -allocstats      # per-experiment allocator pressure
 package main
 
 import (
@@ -19,10 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"optcc/internal/experiments"
+	"optcc/internal/report"
 )
 
 // jsonTable / jsonResult are the machine-readable rendering of an
@@ -68,9 +78,36 @@ func main() {
 		usersFlag   = flag.String("users", "", "comma-separated user counts for the E8/E10 sweeps (E8 default 4,8; E10 default 16,48); the first entry also sets E11's users")
 		batchFlag   = flag.String("batch", "", "comma-separated batch sizes for the E10 batched-dispatch sweep (default 1,8,32)")
 		stripesFlag = flag.Int("railstripes", 0, "ordering-rail stripe count for the E11 sweep (0 = one per shard)")
-		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11 real-execution sweeps (kv; default kv)")
+		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11 real-execution sweeps (kv|noop; default kv)")
+		cpuFlag     = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memFlag     = flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
+		allocFlag   = flag.Bool("allocstats", false, "report per-experiment allocator pressure (heap objects and MB allocated) after the tables")
 	)
 	flag.Parse()
+	// stopCPU flushes and closes the CPU profile; it must also run on the
+	// error exits below (os.Exit skips defers), or the profile of a failed
+	// run — the one most worth inspecting — would be truncated.
+	stopCPU := func() {}
+	if *cpuFlag != "" {
+		f, err := os.Create(*cpuFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		stopped := false
+		stopCPU = func() {
+			if !stopped {
+				stopped = true
+				pprof.StopCPUProfile()
+				f.Close()
+			}
+		}
+		defer stopCPU()
+	}
 	if *backendFlag != "" {
 		if _, err := experiments.NewBackend(*backendFlag, 1, 0); err != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: bad -backend: %v\n", err)
@@ -136,12 +173,28 @@ func main() {
 		fmt.Println("Generated by `go run ./cmd/ccbench -md`.")
 		fmt.Println()
 	}
+	// -allocstats meters each experiment with report.AllocMeter; the table
+	// goes to stderr so -json on stdout stays machine-readable.
+	var allocTable *report.Table
+	if *allocFlag {
+		allocTable = report.NewTable("allocator pressure (process-wide runtime/metrics deltas)",
+			"experiment", "allocs", "alloc-MB")
+	}
 	var jsonOut []jsonResult
 	for _, id := range ids {
+		var am report.AllocMeter
+		if *allocFlag {
+			am.Start()
+		}
 		res, err := runners[id]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: %s failed: %v\n", id, err)
+			stopCPU()
 			os.Exit(1)
+		}
+		if *allocFlag {
+			allocs, bytes := am.Delta()
+			allocTable.AddRow(id, allocs, float64(bytes)/(1<<20))
 		}
 		switch {
 		case *jsonFlag:
@@ -163,7 +216,28 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			stopCPU()
 			os.Exit(1)
 		}
+	}
+	if *allocFlag {
+		fmt.Fprintln(os.Stderr, allocTable.String())
+	}
+	if *memFlag != "" {
+		// A GC first, so the heap profile shows live retention rather than
+		// garbage awaiting collection.
+		runtime.GC()
+		f, err := os.Create(*memFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: -memprofile: %v\n", err)
+			stopCPU()
+			os.Exit(2)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: -memprofile: %v\n", err)
+			stopCPU()
+			os.Exit(2)
+		}
+		f.Close()
 	}
 }

@@ -159,7 +159,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
 		stripes   = flag.Int("railstripes", 0, "lock stripes of the cross-shard ordering rail (0 = one per shard)")
 		batchSz   = flag.Int("batch", 1, "max requests decided per dispatch critical section; > 1 also enables group commit on the concurrent engine")
-		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv)")
+		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv|noop)")
 		valueSize = flag.Int("valuesize", 256, "payload bytes per stored record (kv backend)")
 		exec      = flag.Duration("exec", 100*time.Microsecond, "extra simulated per-step execution time")
 		think     = flag.Duration("think", 0, "max per-step user think time")
@@ -184,8 +184,12 @@ func main() {
 		if s < 1 {
 			s = 1
 		}
+		// Payload-buffer recycling is only sound under strict execution
+		// (storage.Config.Recycle), so enable it exactly for the strict
+		// scheduler family.
+		strict := *sc == "serial" || strings.HasPrefix(*sc, "2pl")
 		var err error
-		be, err = storage.New(*backend, storage.Config{Shards: s, ValueSize: *valueSize})
+		be, err = storage.New(*backend, storage.Config{Shards: s, ValueSize: *valueSize, Recycle: strict})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
 			os.Exit(2)

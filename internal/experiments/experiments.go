@@ -791,6 +791,15 @@ func NewBackend(name string, shards, valueSize int) (storage.Backend, error) {
 	return storage.New(name, storage.Config{Shards: shards, ValueSize: valueSize})
 }
 
+// NewStrictBackend is NewBackend with payload-buffer recycling enabled.
+// Recycling is only sound under strict execution (see
+// storage.Config.Recycle), so it is used by the sweeps whose schedulers
+// are all strict — E9 and E10 run the strict 2PL family exclusively —
+// while E11, which mixes in timestamp ordering, stays on NewBackend.
+func NewStrictBackend(name string, shards, valueSize int) (storage.Backend, error) {
+	return storage.New(name, storage.Config{Shards: shards, ValueSize: valueSize, Recycle: true})
+}
+
 // E9StorageBackend measures schedulers doing real work: every granted step
 // reads and writes the storage backend (checksummed payload records,
 // copy-on-write, undo-logged aborts) instead of sleeping, across value size
@@ -835,7 +844,7 @@ func e9WithScale(jobs, users int, shardSweep, valueSizes []int, backendName stri
 				if cs, ok := sched.(online.ConcurrentScheduler); ok {
 					shards = cs.NumShards()
 				}
-				be, err := NewBackend(backendName, shards, valueSize)
+				be, err := NewStrictBackend(backendName, shards, valueSize)
 				if err != nil {
 					return nil, err
 				}
@@ -928,7 +937,7 @@ func e10WithScale(jobs int, userSweep, shardSweep, batchSweep []int, backendName
 				t := report.NewTable(fmt.Sprintf("%s, %d jobs, %d users, %d shards", reg.name, jobs, users, shards),
 					"batch", "committed", "aborts", "deadlock-breaks", "mean-sched-µs", "mean-wait-µs", "group-size", "throughput-tx/s")
 				for _, batch := range batchSweep {
-					be, err := NewBackend(backendName, shards, 256)
+					be, err := NewStrictBackend(backendName, shards, 256)
 					if err != nil {
 						return nil, err
 					}

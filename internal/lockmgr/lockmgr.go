@@ -13,6 +13,7 @@ package lockmgr
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"optcc/internal/core"
@@ -125,12 +126,21 @@ type waiter struct {
 }
 
 type entry struct {
+	v       core.Var
 	holders map[TxID]Mode
 	queue   []waiter
 }
 
 // Table is a lock table. It is not safe for concurrent use; callers
 // serialize access (the goroutine simulator wraps it in a mutex).
+//
+// Memory discipline: the uncontended steady-state cycle — Acquire
+// (granted), ReleaseAll, Forget — performs zero heap allocations once the
+// table is warm. Per-variable entries persist across transactions, held
+// maps are pooled through Forget, queued variables are indexed (waitQ) so
+// releases never scan the whole table, and the sort scratch is reused.
+// Conflict handling (queueing, wounds, waits-for walks) may allocate;
+// those paths are paid for by contention, not by every step.
 type Table struct {
 	policy Policy
 	locks  map[core.Var]*entry
@@ -140,6 +150,16 @@ type Table struct {
 	// held tracks, per transaction, the variables it holds (for
 	// ReleaseAll).
 	held map[TxID]map[core.Var]Mode
+	// heldFree recycles held maps across transactions (Forget parks them
+	// here cleared), so a fresh transaction's first acquisition does not
+	// allocate.
+	heldFree []map[core.Var]Mode
+	// waitQ indexes the variables with a non-empty wait queue, so
+	// ReleaseAll touches only them instead of sweeping every lock entry.
+	waitQ map[core.Var]struct{}
+	// varBuf and blockBuf are reusable sort/scan scratch.
+	varBuf   []core.Var
+	blockBuf []TxID
 }
 
 // NewTable returns an empty lock table with the given deadlock policy.
@@ -149,6 +169,7 @@ func NewTable(policy Policy) *Table {
 		locks:  map[core.Var]*entry{},
 		birth:  map[TxID]int64{},
 		held:   map[TxID]map[core.Var]Mode{},
+		waitQ:  map[core.Var]struct{}{},
 	}
 }
 
@@ -184,10 +205,24 @@ func (t *Table) RegisterAt(tx TxID, birth int64) {
 func (t *Table) AdoptHolder(tx TxID, v core.Var, m Mode) {
 	e := t.entryFor(v)
 	e.holders[tx] = m
-	if t.held[tx] == nil {
-		t.held[tx] = map[core.Var]Mode{}
+	t.heldFor(tx)[v] = m
+}
+
+// heldFor returns tx's held-variable map, drawing a recycled one from the
+// Forget pool before allocating.
+func (t *Table) heldFor(tx TxID) map[core.Var]Mode {
+	m := t.held[tx]
+	if m == nil {
+		if n := len(t.heldFree); n > 0 {
+			m = t.heldFree[n-1]
+			t.heldFree[n-1] = nil
+			t.heldFree = t.heldFree[:n-1]
+		} else {
+			m = map[core.Var]Mode{}
+		}
+		t.held[tx] = m
 	}
-	t.held[tx][v] = m
+	return m
 }
 
 // older reports whether a is older (higher priority) than b.
@@ -196,7 +231,7 @@ func (t *Table) older(a, b TxID) bool { return t.birth[a] < t.birth[b] }
 func (t *Table) entryFor(v core.Var) *entry {
 	e := t.locks[v]
 	if e == nil {
-		e = &entry{holders: map[TxID]Mode{}}
+		e = &entry{v: v, holders: map[TxID]Mode{}}
 		t.locks[v] = e
 	}
 	return e
@@ -261,10 +296,7 @@ func (t *Table) Acquire(tx TxID, v core.Var, m Mode) Result {
 	// incompatible waiters, so writers cannot starve.
 	if compatible && len(e.queue) == 0 {
 		e.holders[tx] = m
-		if t.held[tx] == nil {
-			t.held[tx] = map[core.Var]Mode{}
-		}
-		t.held[tx][v] = m
+		t.heldFor(tx)[v] = m
 		return Result{Status: Granted}
 	}
 	return t.conflict(tx, v, e, m, false)
@@ -309,6 +341,7 @@ func (t *Table) enqueue(e *entry, tx TxID, m Mode, upgrade bool) {
 			return
 		}
 	}
+	t.waitQ[e.v] = struct{}{}
 	w := waiter{tx: tx, mode: m, upgrade: upgrade}
 	if upgrade {
 		// Upgrades go to the front: the holder already has S and cannot
@@ -320,19 +353,19 @@ func (t *Table) enqueue(e *entry, tx TxID, m Mode, upgrade bool) {
 }
 
 // blockersOf lists the holders (and, for fairness, queued waiters ahead)
-// that prevent tx's request, sorted for determinism.
+// that prevent tx's request, sorted for determinism. The returned slice is
+// the table's reusable scratch: it is valid until the next blockersOf call,
+// and callers that retain blockers (WaitsFor via mergeSorted, the wound
+// list) copy the values out.
 func (t *Table) blockersOf(tx TxID, e *entry) []TxID {
-	seen := map[TxID]bool{}
+	out := t.blockBuf[:0]
 	for h := range e.holders {
 		if h != tx {
-			seen[h] = true
+			out = append(out, h)
 		}
 	}
-	out := make([]TxID, 0, len(seen))
-	for h := range seen {
-		out = append(out, h)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	t.blockBuf = out
 	return out
 }
 
@@ -354,40 +387,66 @@ func (t *Table) Release(tx TxID, v core.Var) []Grant {
 // ReleaseAll releases every lock held by tx and removes it from every wait
 // queue; it returns all requests granted as a consequence. Use on commit
 // and on abort.
+//
+// Only variables with a non-empty wait queue (the waitQ index) are swept
+// for queue removal and post-release admission — an uncontended release
+// touches exactly the variables tx holds and allocates nothing (grants stay
+// nil when nobody was waiting).
 func (t *Table) ReleaseAll(tx TxID) []Grant {
 	var grants []Grant
 	// Remove from queues first so admissions skip the departing tx.
-	for _, e := range t.locks {
-		n := e.queue[:0]
-		for _, w := range e.queue {
-			if w.tx != tx {
-				n = append(n, w)
+	if len(t.waitQ) > 0 {
+		queued := t.queuedVars()
+		for _, v := range queued {
+			e := t.locks[v]
+			n := e.queue[:0]
+			for _, w := range e.queue {
+				if w.tx != tx {
+					n = append(n, w)
+				}
+			}
+			e.queue = n
+			if len(e.queue) == 0 {
+				delete(t.waitQ, v)
 			}
 		}
-		e.queue = n
 	}
-	vars := make([]core.Var, 0, len(t.held[tx]))
+	vars := t.varBuf[:0]
 	for v := range t.held[tx] {
 		vars = append(vars, v)
 	}
-	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	t.varBuf = vars
+	slices.Sort(vars)
 	for _, v := range vars {
 		grants = append(grants, t.Release(tx, v)...)
 	}
 	// Queues may now admit waiters even on variables tx merely waited on.
-	names := make([]core.Var, 0, len(t.locks))
-	for v := range t.locks {
-		names = append(names, v)
-	}
-	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
-	for _, v := range names {
-		grants = append(grants, t.admit(v, t.locks[v])...)
+	if len(t.waitQ) > 0 {
+		queued := t.queuedVars()
+		for _, v := range queued {
+			grants = append(grants, t.admit(v, t.locks[v])...)
+		}
 	}
 	return grants
 }
 
+// queuedVars snapshots the waitQ index into the reusable varBuf scratch,
+// sorted for deterministic sweep order. The snapshot is needed because
+// admissions mutate waitQ mid-sweep. Each use of varBuf (queued sweep, held
+// sweep, admission sweep) finishes before the next one reuses the scratch.
+func (t *Table) queuedVars() []core.Var {
+	out := t.varBuf[:0]
+	for v := range t.waitQ {
+		out = append(out, v)
+	}
+	t.varBuf = out
+	slices.Sort(out)
+	return out
+}
+
 // admit grants queued requests on v while the head of the queue is
-// compatible with the holders.
+// compatible with the holders, keeping the waitQ index in sync when the
+// queue drains.
 func (t *Table) admit(v core.Var, e *entry) []Grant {
 	var grants []Grant
 	for len(e.queue) > 0 {
@@ -419,21 +478,23 @@ func (t *Table) admit(v core.Var, e *entry) []Grant {
 			break
 		}
 		e.holders[w.tx] = w.mode
-		if t.held[w.tx] == nil {
-			t.held[w.tx] = map[core.Var]Mode{}
-		}
-		t.held[w.tx][v] = w.mode
+		t.heldFor(w.tx)[v] = w.mode
 		e.queue = e.queue[1:]
 		grants = append(grants, Grant{Tx: w.tx, Var: v, Mode: w.mode})
+	}
+	if len(e.queue) == 0 {
+		delete(t.waitQ, v)
 	}
 	return grants
 }
 
 // WaitsFor returns the waits-for graph as an adjacency map: w → holders
-// blocking w.
+// blocking w. Only variables with waiters (the waitQ index) can contribute
+// edges, so the walk skips uncontended entries.
 func (t *Table) WaitsFor() map[TxID][]TxID {
 	out := map[TxID][]TxID{}
-	for _, e := range t.locks {
+	for v := range t.waitQ {
+		e := t.locks[v]
 		for _, w := range e.queue {
 			blockers := t.blockersOf(w.tx, e)
 			out[w.tx] = mergeSorted(out[w.tx], blockers)
@@ -529,9 +590,15 @@ func (t *Table) ChooseVictim(cycle []TxID) TxID {
 
 // Forget removes all record of a transaction that has released everything
 // (bookkeeping hygiene between simulator runs). Its birth timestamp is
-// retained so restarts keep their age.
+// retained so restarts keep their age; its held map is cleared and parked
+// for reuse by a later transaction (heldFor), keeping the commit cycle
+// allocation-free.
 func (t *Table) Forget(tx TxID) {
-	delete(t.held, tx)
+	if m, ok := t.held[tx]; ok {
+		clear(m)
+		t.heldFree = append(t.heldFree, m)
+		delete(t.held, tx)
+	}
 }
 
 // Invariant checks the table's safety invariants: at most one Exclusive

@@ -29,9 +29,16 @@ type ShardedTable struct {
 	policy Policy
 	shards []tableShard
 	clock  atomic.Int64
-	birth  sync.Map // TxID → int64
-	slots  sync.Map // core.Var → *fastSlot
-	fast   sync.Map // TxID → *fastSet
+	// birthArr and fastArr are the flat per-transaction state for ids
+	// reserved with Reserve: a birth timestamp slot (0 = unset) and a
+	// fast-path lock set per id, indexed directly — no sync.Map entry
+	// allocation per transaction. Ids outside the reserved range fall back
+	// to the sync.Maps below.
+	birthArr []atomic.Int64
+	fastArr  []fastSet
+	birth    sync.Map // TxID → int64 (unreserved ids)
+	slots    sync.Map // core.Var → *fastSlot
+	fast     sync.Map // TxID → *fastSet (unreserved ids)
 }
 
 type tableShard struct {
@@ -52,10 +59,63 @@ func encTx(tx TxID) int64 { return int64(tx) + 1 }
 func decTx(st int64) TxID { return TxID(st - 1) }
 
 // fastSet tracks the variables a transaction holds via the fast path, so
-// ReleaseAll can find them.
+// ReleaseAll can find them. The first few variables live in an inline
+// array — transactions rarely fast-hold more — so the steady-state
+// add/remove/drain cycle allocates nothing; the overflow slice keeps its
+// capacity across a transaction's attempts.
 type fastSet struct {
 	mu   sync.Mutex
-	vars map[core.Var]bool
+	n    int
+	arr  [4]core.Var
+	over []core.Var
+}
+
+// add records a fast-held variable. Caller holds fs.mu. Callers never add
+// a variable twice: the fast path adds only on a winning CAS, and a
+// reentrant grant returns before reaching here.
+func (fs *fastSet) add(v core.Var) {
+	if fs.n < len(fs.arr) {
+		fs.arr[fs.n] = v
+		fs.n++
+		return
+	}
+	fs.over = append(fs.over, v)
+}
+
+// remove drops one occurrence of v (a no-op if absent). Caller holds fs.mu.
+func (fs *fastSet) remove(v core.Var) {
+	for i := 0; i < fs.n; i++ {
+		if fs.arr[i] == v {
+			fs.n--
+			fs.arr[i] = fs.arr[fs.n]
+			fs.arr[fs.n] = ""
+			return
+		}
+	}
+	for i, o := range fs.over {
+		if o == v {
+			last := len(fs.over) - 1
+			fs.over[i] = fs.over[last]
+			fs.over[last] = ""
+			fs.over = fs.over[:last]
+			return
+		}
+	}
+}
+
+// drain visits every tracked variable and empties the set, releasing the
+// string references but keeping the overflow capacity. Caller holds fs.mu.
+func (fs *fastSet) drain(fn func(v core.Var)) {
+	for i := 0; i < fs.n; i++ {
+		fn(fs.arr[i])
+		fs.arr[i] = ""
+	}
+	fs.n = 0
+	for i, o := range fs.over {
+		fn(o)
+		fs.over[i] = ""
+	}
+	fs.over = fs.over[:0]
 }
 
 // NewShardedTable returns a sharded lock table with the given deadlock
@@ -73,6 +133,24 @@ func NewShardedTable(policy Policy, shards int) *ShardedTable {
 
 // Policy returns the table's deadlock policy.
 func (s *ShardedTable) Policy() Policy { return s.policy }
+
+// Reserve preallocates flat per-transaction state for transaction ids
+// [0, n): birth timestamps and fast-path lock sets live in arrays instead
+// of sync.Maps, so registering, fast-locking and releasing a reserved id
+// allocates nothing. Call it once, before the table is driven concurrently
+// (ConcurrentStrict2PL calls it from Begin with the system's transaction
+// count); ids outside the range keep working through the sync.Map fallback.
+func (s *ShardedTable) Reserve(n int) {
+	if n > len(s.birthArr) {
+		s.birthArr = make([]atomic.Int64, n)
+		s.fastArr = make([]fastSet, n)
+	}
+}
+
+// reserved reports whether tx falls in the Reserve range.
+func (s *ShardedTable) reserved(tx TxID) bool {
+	return tx >= 0 && int(tx) < len(s.birthArr)
+}
 
 // NumShards returns the shard count.
 func (s *ShardedTable) NumShards() int { return len(s.shards) }
@@ -100,11 +178,18 @@ func ShardOfVar(v core.Var, n int) int {
 // clock and registers it with every shard. Re-registering keeps the
 // original timestamp, preserving wound-wait/wait-die progress guarantees.
 func (s *ShardedTable) Register(tx TxID) {
-	b, loaded := s.birth.Load(tx)
-	if !loaded {
-		b, _ = s.birth.LoadOrStore(tx, s.clock.Add(1))
+	birth := s.birthOf(tx)
+	if birth == 0 {
+		if s.reserved(tx) {
+			// Timestamps start at 1, so 0 is an unambiguous "unset"; the
+			// CAS keeps the first registration's timestamp under races.
+			s.birthArr[tx].CompareAndSwap(0, s.clock.Add(1))
+			birth = s.birthArr[tx].Load()
+		} else {
+			b, _ := s.birth.LoadOrStore(tx, s.clock.Add(1))
+			birth = b.(int64)
+		}
 	}
-	birth := b.(int64)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -122,11 +207,27 @@ func (s *ShardedTable) slot(v core.Var) *fastSlot {
 }
 
 func (s *ShardedTable) fastSetOf(tx TxID) *fastSet {
+	if s.reserved(tx) {
+		return &s.fastArr[tx]
+	}
 	if fs, ok := s.fast.Load(tx); ok {
 		return fs.(*fastSet)
 	}
-	fs, _ := s.fast.LoadOrStore(tx, &fastSet{vars: map[core.Var]bool{}})
+	fs, _ := s.fast.LoadOrStore(tx, &fastSet{})
 	return fs.(*fastSet)
+}
+
+// fastSetIfAny is fastSetOf without the create-on-miss: release paths use
+// it so releasing for a transaction that never fast-locked allocates
+// nothing.
+func (s *ShardedTable) fastSetIfAny(tx TxID) *fastSet {
+	if s.reserved(tx) {
+		return &s.fastArr[tx]
+	}
+	if fs, ok := s.fast.Load(tx); ok {
+		return fs.(*fastSet)
+	}
+	return nil
 }
 
 // escalate moves v out of the fast regime into the shard Table. Caller
@@ -163,7 +264,7 @@ func (s *ShardedTable) tryFast(tx TxID, sl *fastSlot, v core.Var, m Mode) (Resul
 	if m == Exclusive && st == 0 && sl.state.CompareAndSwap(0, encTx(tx)) {
 		fs := s.fastSetOf(tx)
 		fs.mu.Lock()
-		fs.vars[v] = true
+		fs.add(v)
 		fs.mu.Unlock()
 		return Result{Status: Granted}, true
 	}
@@ -174,7 +275,7 @@ func (s *ShardedTable) tryFast(tx TxID, sl *fastSlot, v core.Var, m Mode) (Resul
 // variable still in the fast regime are a single CAS; everything else goes
 // through the owning shard's Table under its mutex.
 func (s *ShardedTable) Acquire(tx TxID, v core.Var, m Mode) Result {
-	if _, ok := s.birth.Load(tx); !ok {
+	if s.birthOf(tx) == 0 {
 		s.Register(tx)
 	}
 	sl := s.slot(v)
@@ -206,19 +307,26 @@ type BatchReq struct {
 // internal/sim send same-shard batches, so the common case is at most one
 // mutex acquisition per batch, and all-fast-path batches take none.
 func (s *ShardedTable) AcquireBatch(reqs []BatchReq) []Result {
+	return s.AcquireBatchInto(nil, reqs)
+}
+
+// AcquireBatchInto is AcquireBatch appending into out[:0], so a caller
+// holding a reusable result buffer (online.ConcurrentStrict2PL keeps one
+// per shard) pays no per-batch allocation.
+func (s *ShardedTable) AcquireBatchInto(out []Result, reqs []BatchReq) []Result {
 	// Register up front: Register takes every shard mutex, so it must not
 	// run while the decide loop below holds one.
 	for _, r := range reqs {
-		if _, ok := s.birth.Load(r.Tx); !ok {
+		if s.birthOf(r.Tx) == 0 {
 			s.Register(r.Tx)
 		}
 	}
-	out := make([]Result, len(reqs))
+	out = out[:0]
 	held := -1
-	for i, r := range reqs {
+	for _, r := range reqs {
 		sl := s.slot(r.Var)
 		if res, ok := s.tryFast(r.Tx, sl, r.Var, r.Mode); ok {
-			out[i] = res
+			out = append(out, res)
 			continue
 		}
 		si := s.ShardOf(r.Var)
@@ -230,7 +338,7 @@ func (s *ShardedTable) AcquireBatch(reqs []BatchReq) []Result {
 			held = si
 		}
 		s.escalate(sl, s.shards[si].t, r.Var)
-		out[i] = s.shards[si].t.Acquire(r.Tx, r.Var, r.Mode)
+		out = append(out, s.shards[si].t.Acquire(r.Tx, r.Var, r.Mode))
 	}
 	if held >= 0 {
 		s.shards[held].mu.Unlock()
@@ -255,28 +363,26 @@ func (s *ShardedTable) Release(tx TxID, v core.Var) []Grant {
 }
 
 func (s *ShardedTable) dropFast(tx TxID, v core.Var) {
-	if fs, ok := s.fast.Load(tx); ok {
-		set := fs.(*fastSet)
-		set.mu.Lock()
-		delete(set.vars, v)
-		set.mu.Unlock()
+	if fs := s.fastSetIfAny(tx); fs != nil {
+		fs.mu.Lock()
+		fs.remove(v)
+		fs.mu.Unlock()
 	}
 }
 
 // ReleaseAll releases every lock held by tx — fast-path holds by CAS,
 // everything else through the per-shard tables — and removes it from every
-// wait queue. It returns all requests granted as a consequence.
+// wait queue. It returns all requests granted as a consequence (nil when
+// nothing was waiting: the whole uncontended release is allocation-free).
 func (s *ShardedTable) ReleaseAll(tx TxID) []Grant {
-	if fs, ok := s.fast.Load(tx); ok {
-		set := fs.(*fastSet)
-		set.mu.Lock()
-		for v := range set.vars {
+	if fs := s.fastSetIfAny(tx); fs != nil {
+		fs.mu.Lock()
+		fs.drain(func(v core.Var) {
 			// If the CAS fails the variable was escalated and the hold was
 			// adopted into its shard Table; the sweep below releases it.
 			s.slot(v).state.CompareAndSwap(encTx(tx), 0)
-			delete(set.vars, v)
-		}
-		set.mu.Unlock()
+		})
+		fs.mu.Unlock()
 	}
 	var grants []Grant
 	for i := range s.shards {
@@ -355,6 +461,9 @@ func (s *ShardedTable) ChooseVictim(cycle []TxID) TxID {
 }
 
 func (s *ShardedTable) birthOf(tx TxID) int64 {
+	if s.reserved(tx) {
+		return s.birthArr[tx].Load()
+	}
 	if b, ok := s.birth.Load(tx); ok {
 		return b.(int64)
 	}
@@ -362,9 +471,18 @@ func (s *ShardedTable) birthOf(tx TxID) int64 {
 }
 
 // Forget removes per-transaction bookkeeping after everything is released;
-// the birth timestamp is retained so restarts keep their age.
+// the birth timestamp is retained so restarts keep their age. A reserved
+// id's fast set is cleared in place (its storage is reused on restart);
+// unreserved ids drop their sync.Map entry.
 func (s *ShardedTable) Forget(tx TxID) {
-	s.fast.Delete(tx)
+	if s.reserved(tx) {
+		fs := &s.fastArr[tx]
+		fs.mu.Lock()
+		fs.drain(func(core.Var) {})
+		fs.mu.Unlock()
+	} else {
+		s.fast.Delete(tx)
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

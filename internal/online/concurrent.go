@@ -43,8 +43,9 @@ func shardOfVar(v core.Var, n int) int { return lockmgr.ShardOfVar(v, n) }
 // centralized baseline of the ConcurrentScheduler contract (one shard, all
 // requests serialized). It realizes exactly the inner scheduler's fixpoint.
 type Mutexed struct {
-	mu    sync.Mutex
-	inner Scheduler
+	mu     sync.Mutex
+	inner  Scheduler
+	outBuf []Decision // TryBatch scratch, reused under mu
 }
 
 // NewMutexed returns the inner scheduler behind a single global mutex.
@@ -68,14 +69,17 @@ func (m *Mutexed) Try(id core.StepID) Decision {
 }
 
 // TryBatch implements BatchTrier: the whole batch is decided under one
-// mutex acquisition instead of one per request.
+// mutex acquisition instead of one per request. The returned slice is the
+// wrapper's reusable scratch — valid until the next TryBatch, which is the
+// single dispatch loop's usage on this one-shard scheduler.
 func (m *Mutexed) TryBatch(ids []core.StepID) []Decision {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Decision, len(ids))
-	for i, id := range ids {
-		out[i] = m.inner.Try(id)
+	out := m.outBuf[:0]
+	for _, id := range ids {
+		out = append(out, m.inner.Try(id))
 	}
+	m.outBuf = out
 	return out
 }
 
@@ -137,6 +141,10 @@ type shardSlot struct {
 	log    []railRec
 	srcBuf []railNode
 	addBuf []railNode
+	// outBuf is the TryBatch decision scratch of batches whose first step
+	// lands on this shard (concurrent batches start on distinct shards, so
+	// the buffer has one writer at a time).
+	outBuf []Decision
 }
 
 // Sharded partitions variables across n shard-local copies of a
@@ -173,6 +181,10 @@ type Sharded struct {
 
 	railOn bool
 	rail   *stripedRail
+	// railBufs pools the removed-node buffers of commit/abort rail calls
+	// (concurrent commit lanes each borrow one), so retiring a node — the
+	// per-transaction rail cost — allocates nothing in steady state.
+	railBufs sync.Pool
 }
 
 // NewSharded returns a combinator running one factory-built scheduler per
@@ -254,11 +266,15 @@ func (s *Sharded) Try(id core.StepID) Decision {
 // consecutive run of same-shard requests (the rail is still consulted per
 // step: edge insertion must stay atomic with its cycle check). The dispatch
 // loops send same-shard batches, so the common case is a single mutex
-// acquisition for the whole batch.
+// acquisition for the whole batch. The returned slice is the first shard's
+// reusable decision scratch — valid until that shard's next TryBatch, and
+// private to each concurrent caller because concurrent batches must be on
+// different shards (the BatchTrier contract).
 func (s *Sharded) TryBatch(ids []core.StepID) []Decision {
-	out := make([]Decision, len(ids))
+	first := s.shards[s.ShardOf(s.sys.Step(ids[0]).Var)]
+	out := first.outBuf[:0]
 	held := -1
-	for i, id := range ids {
+	for _, id := range ids {
 		si := s.ShardOf(s.sys.Step(id).Var)
 		if si != held {
 			if held >= 0 {
@@ -267,11 +283,12 @@ func (s *Sharded) TryBatch(ids []core.StepID) []Decision {
 			s.shards[si].mu.Lock()
 			held = si
 		}
-		out[i] = s.tryLocked(s.shards[si], id)
+		out = append(out, s.tryLocked(s.shards[si], id))
 	}
 	if held >= 0 {
 		s.shards[held].mu.Unlock()
 	}
+	first.outBuf = out
 	return out
 }
 
@@ -312,7 +329,8 @@ func (s *Sharded) tryLocked(sh *shardSlot, id core.StepID) Decision {
 }
 
 // Commit implements Scheduler: notify every shard the transaction touched,
-// then retire its rail node.
+// then retire its rail node (through a pooled removed-node buffer, so the
+// per-commit rail conversation allocates nothing).
 func (s *Sharded) Commit(tx int) {
 	for _, si := range s.txShards[tx] {
 		sh := s.shards[si]
@@ -323,7 +341,10 @@ func (s *Sharded) Commit(tx int) {
 	if !s.railOn {
 		return
 	}
-	s.purgeLogs(s.rail.commit(tx))
+	bp := s.railBuf()
+	*bp = s.rail.commit(tx, (*bp)[:0])
+	s.purgeLogs(*bp)
+	s.railBufs.Put(bp)
 }
 
 // Abort implements Scheduler: notify touched shards, drop the incarnation's
@@ -338,23 +359,32 @@ func (s *Sharded) Abort(tx int) {
 	if !s.railOn {
 		return
 	}
-	s.purgeLogs(s.rail.abortTx(tx))
+	bp := s.railBuf()
+	*bp = s.rail.abortTx(tx, (*bp)[:0])
+	s.purgeLogs(*bp)
+	s.railBufs.Put(bp)
+}
+
+// railBuf borrows a removed-node buffer from the pool.
+func (s *Sharded) railBuf() *[]railNode {
+	if b, ok := s.railBufs.Get().(*[]railNode); ok {
+		return b
+	}
+	return new([]railNode)
 }
 
 // purgeLogs drops the removed nodes' entries from every shard grant log.
+// removed is a handful of nodes (a retired incarnation plus its pruned
+// component members), so a linear membership scan beats building a set.
 func (s *Sharded) purgeLogs(removed []railNode) {
 	if len(removed) == 0 {
 		return
-	}
-	gone := map[railNode]bool{}
-	for _, n := range removed {
-		gone[n] = true
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		kept := sh.log[:0]
 		for _, rec := range sh.log {
-			if !gone[rec.n] {
+			if !slices.Contains(removed, rec.n) {
 				kept = append(kept, rec)
 			}
 		}
@@ -430,12 +460,18 @@ func (s *Sharded) Victim(stuck []int) (int, bool) {
 }
 
 // Wounded implements Scheduler: collect and clear every shard's wounds.
+// The common call finds none (the dispatch loops poll after every decide),
+// so the dedup set is allocated lazily — a wound-free poll allocates
+// nothing.
 func (s *Sharded) Wounded() []int {
 	var out []int
-	seen := map[int]bool{}
+	var seen map[int]bool
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, w := range sh.inner.Wounded() {
+			if seen == nil {
+				seen = map[int]bool{}
+			}
 			if !seen[w] {
 				seen[w] = true
 				out = append(out, w)

@@ -26,8 +26,22 @@ type ConcurrentStrict2PL struct {
 	sys   *core.System
 	table *lockmgr.ShardedTable
 
+	// scratch holds one reusable TryBatch buffer set per shard. The
+	// dispatch loops send same-shard batches and concurrent TryBatch calls
+	// must be on different shards (the BatchTrier contract), so indexing by
+	// the first id's shard gives every concurrent caller private scratch —
+	// the batch path allocates nothing in steady state.
+	scratch []batchScratch
+
 	mu      sync.Mutex // guards wounded
 	wounded []int
+}
+
+// batchScratch is one shard's reusable TryBatch buffers.
+type batchScratch struct {
+	reqs    []lockmgr.BatchReq
+	results []lockmgr.Result
+	out     []Decision
 }
 
 // NewConcurrentStrict2PL returns a sharded strict 2PL scheduler with the
@@ -48,6 +62,11 @@ func (s *ConcurrentStrict2PL) Name() string {
 func (s *ConcurrentStrict2PL) Begin(sys *core.System) {
 	s.sys = sys
 	s.table = lockmgr.NewShardedTable(s.policy, s.shards)
+	// Reserve flat per-transaction table state and register everything up
+	// front: the steady-state Acquire/ReleaseAll cycle then never touches
+	// a sync.Map allocation or the registration slow path.
+	s.table.Reserve(sys.NumTxs())
+	s.scratch = make([]batchScratch, s.shards)
 	s.mu.Lock()
 	s.wounded = nil
 	s.mu.Unlock()
@@ -84,31 +103,36 @@ func (s *ConcurrentStrict2PL) Try(id core.StepID) Decision {
 }
 
 // TryBatch implements BatchTrier natively: the batch's lock requests go
-// through lockmgr.ShardedTable.AcquireBatch, which takes each shard mutex
-// at most once for the whole batch (the dispatch loops send same-shard
-// batches, so normally exactly once). Reentrant holds are resolved by the
-// table's fast-slot check and by Table.Acquire itself, so the result is
-// decision-for-decision equivalent to calling Try on each id in order.
+// through lockmgr.ShardedTable.AcquireBatchInto, which takes each shard
+// mutex at most once for the whole batch (the dispatch loops send
+// same-shard batches, so normally exactly once). Reentrant holds are
+// resolved by the table's fast-slot check and by Table.Acquire itself, so
+// the result is decision-for-decision equivalent to calling Try on each id
+// in order. The returned slice is the scratch of the first id's shard: it
+// stays valid until that shard's next TryBatch, which is exactly the
+// dispatch loops' usage (a loop consumes the decisions before its next
+// batch), and concurrent batches on other shards use their own scratch.
 func (s *ConcurrentStrict2PL) TryBatch(ids []core.StepID) []Decision {
-	reqs := make([]lockmgr.BatchReq, len(ids))
-	for i, id := range ids {
+	sc := &s.scratch[s.ShardOf(s.sys.Step(ids[0]).Var)]
+	sc.reqs = sc.reqs[:0]
+	for _, id := range ids {
 		step := s.sys.Step(id)
-		reqs[i] = lockmgr.BatchReq{Tx: lockmgr.TxID(id.Tx), Var: step.Var, Mode: lockMode(step.Kind)}
+		sc.reqs = append(sc.reqs, lockmgr.BatchReq{Tx: lockmgr.TxID(id.Tx), Var: step.Var, Mode: lockMode(step.Kind)})
 	}
-	results := s.table.AcquireBatch(reqs)
-	out := make([]Decision, len(ids))
+	sc.results = s.table.AcquireBatchInto(sc.results, sc.reqs)
+	sc.out = sc.out[:0]
 	var wounded []int
-	for i, r := range results {
+	for _, r := range sc.results {
 		for _, w := range r.Wounded {
 			wounded = append(wounded, int(w))
 		}
 		switch r.Status {
 		case lockmgr.Granted:
-			out[i] = Grant
+			sc.out = append(sc.out, Grant)
 		case lockmgr.AbortSelf:
-			out[i] = AbortTx
+			sc.out = append(sc.out, AbortTx)
 		default:
-			out[i] = Delay
+			sc.out = append(sc.out, Delay)
 		}
 	}
 	if len(wounded) > 0 {
@@ -116,7 +140,7 @@ func (s *ConcurrentStrict2PL) TryBatch(ids []core.StepID) []Decision {
 		s.wounded = append(s.wounded, wounded...)
 		s.mu.Unlock()
 	}
-	return out
+	return sc.out
 }
 
 // Commit implements Scheduler.

@@ -351,20 +351,21 @@ func (r *stripedRail) withdraw(me railNode, added []railNode) {
 }
 
 // commit retires the transaction's current incarnation: the node is marked
-// committed and its component pruned. It returns the removed nodes, whose
-// grant-log entries the caller must purge (outside any rail lock).
-func (r *stripedRail) commit(tx int) []railNode {
+// committed and its component pruned. The removed nodes — whose grant-log
+// entries the caller must purge outside any rail lock — are appended into
+// buf, so a caller with a pooled buffer allocates nothing.
+func (r *stripedRail) commit(tx int, buf []railNode) []railNode {
 	me := r.node(tx)
 	root, stripe := r.lockComp(me)
 	st := &r.stripes[stripe]
 	sub := st.subs[root]
-	var removed []railNode
+	removed := buf[:0]
 	if sub == nil {
 		// Edgeless singleton: retires immediately.
-		removed = []railNode{me}
+		removed = append(removed, me)
 	} else {
 		sub.committed[me] = true
-		removed = st.prune(sub)
+		removed = st.prune(sub, removed)
 		if len(sub.edges) == 0 && len(sub.committed) == 0 {
 			delete(st.subs, root)
 		}
@@ -374,14 +375,14 @@ func (r *stripedRail) commit(tx int) []railNode {
 }
 
 // abortTx drops the incarnation's node from its component, prunes, and
-// starts a fresh epoch. It returns the pruned nodes plus the dropped node
-// itself for log purging.
-func (r *stripedRail) abortTx(tx int) []railNode {
+// starts a fresh epoch. It appends into buf the pruned nodes plus the
+// dropped node itself for log purging.
+func (r *stripedRail) abortTx(tx int, buf []railNode) []railNode {
 	gone := r.node(tx)
 	root, stripe := r.lockComp(gone)
 	r.epoch[tx].Add(1)
 	st := &r.stripes[stripe]
-	removed := []railNode{gone}
+	removed := append(buf[:0], gone)
 	if sub := st.subs[root]; sub != nil {
 		delete(sub.edges, gone)
 		for src, m := range sub.edges {
@@ -393,7 +394,7 @@ func (r *stripedRail) abortTx(tx int) []railNode {
 			}
 		}
 		delete(sub.committed, gone)
-		removed = append(removed, st.prune(sub)...)
+		removed = st.prune(sub, removed)
 		if len(sub.edges) == 0 && len(sub.committed) == 0 {
 			delete(st.subs, root)
 		}
@@ -405,10 +406,10 @@ func (r *stripedRail) abortTx(tx int) []railNode {
 // prune removes committed nodes with no incoming edges from sub: edges only
 // ever point from earlier grants to later ones, so such a node can never
 // rejoin a cycle. The sweep is scoped to one component — a removal can only
-// unblock successors inside the same subgraph. Reuses the stripe's
-// in-degree scratch; caller holds the stripe's mutex.
-func (st *railStripe) prune(sub *railSub) []railNode {
-	var removed []railNode
+// unblock successors inside the same subgraph. Removed nodes are appended
+// into the caller's buffer. Reuses the stripe's in-degree scratch; caller
+// holds the stripe's mutex.
+func (st *railStripe) prune(sub *railSub, removed []railNode) []railNode {
 	for {
 		clear(st.indeg)
 		for _, tos := range sub.edges {

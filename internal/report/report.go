@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime/metrics"
 	"sort"
 	"strings"
 )
@@ -189,6 +190,21 @@ func (h *Histogram) Add(x float64) {
 	h.sorted = false
 }
 
+// Grow ensures capacity for at least n further observations without
+// reallocating. The simulator presizes its per-request histograms with the
+// run's expected sample count so steady-state Add calls never touch the
+// allocator (the zero-allocation hot-path invariant, DESIGN.md "Memory
+// discipline"); a run that overflows the reservation — restarts add extra
+// requests — just falls back to amortized append growth.
+func (h *Histogram) Grow(n int) {
+	if n <= 0 || cap(h.xs)-len(h.xs) >= n {
+		return
+	}
+	xs := make([]float64, len(h.xs), len(h.xs)+n)
+	copy(xs, h.xs)
+	h.xs = xs
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() int { return len(h.xs) }
 
@@ -239,4 +255,37 @@ func Ratio(a, b int) string {
 		return "0/0"
 	}
 	return fmt.Sprintf("%d/%d (%.1f%%)", a, b, 100*float64(a)/float64(b))
+}
+
+// AllocMeter measures the allocator pressure of a region of code: heap
+// objects and bytes allocated between Start and Delta, from the
+// runtime/metrics allocation counters (no stop-the-world, unlike
+// runtime.ReadMemStats — the simulator meters every run, including
+// sub-millisecond ones, so the read must be nearly free). The counters are
+// process-global, so concurrent activity outside the measured region
+// pollutes the reading — treat it as a trend meter (the simulator's
+// AllocBytes/AllocsPerTx metrics, ccbench -allocstats), not a proof; the
+// proof lives in the AllocsPerOp ceilings of TestHotPathAllocCeilings.
+type AllocMeter struct {
+	objects, bytes uint64
+}
+
+func readAllocCounters() (objects, bytes uint64) {
+	samples := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:objects"},
+		{Name: "/gc/heap/allocs:bytes"},
+	}
+	metrics.Read(samples[:])
+	return samples[0].Value.Uint64(), samples[1].Value.Uint64()
+}
+
+// Start snapshots the allocator counters.
+func (a *AllocMeter) Start() {
+	a.objects, a.bytes = readAllocCounters()
+}
+
+// Delta returns heap objects and bytes allocated since Start.
+func (a *AllocMeter) Delta() (allocs, bytes int64) {
+	objects, byteCount := readAllocCounters()
+	return int64(objects - a.objects), int64(byteCount - a.bytes)
 }

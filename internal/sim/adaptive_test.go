@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// TestBatchSizerShrinkStaircase pins the sizer's shrink path in isolation:
+// once the backlog disappears, every thin drain halves the bound — 8, 4,
+// 2, 1 — and the bound parks at 1 (the scalar fast path) for as long as
+// the queue stays thin, including zero-size observations. It complements
+// TestBatchSizerAIMD, which covers growth and the cap.
+func TestBatchSizerShrinkStaircase(t *testing.T) {
+	s := newBatchSizer(8)
+	for i := 0; i < 20; i++ {
+		s.observe(s.bound()) // saturate to the cap
+	}
+	if s.bound() != 8 {
+		t.Fatalf("bound after saturation %d, want 8", s.bound())
+	}
+	// The backlog drains: each observation at or below half the current
+	// bound halves it — the staircase must hit every power of two on the
+	// way down and stop at 1.
+	for _, want := range []int{4, 2, 1, 1, 1} {
+		s.observe(0)
+		if s.bound() != want {
+			t.Fatalf("shrink staircase: bound %d, want %d", s.bound(), want)
+		}
+	}
+	// At bound 1 a drain of one request is a full drain — backlog
+	// evidence — so the sizer probes upward (that is how it re-earns the
+	// cap); an empty drain immediately halves it back to 1.
+	s.observe(1)
+	if s.bound() != 2 {
+		t.Fatalf("full scalar drain at bound 1: bound %d, want 2", s.bound())
+	}
+	s.observe(0)
+	if s.bound() != 1 {
+		t.Fatalf("empty drain after probe: bound %d, want 1", s.bound())
+	}
+	// A drain just above half the bound is neither backlog nor thin: the
+	// bound must hold steady, not oscillate.
+	for i := 0; i < 20; i++ {
+		s.observe(s.bound()) // grow back toward the cap
+	}
+	s.observe(5) // 5 > 8/2, 5 < 8
+	if s.bound() != 8 {
+		t.Fatalf("mid-band drain moved the bound to %d, want 8", s.bound())
+	}
+	// And after shrinking, renewed backlog must re-earn the cap one step
+	// at a time (additive increase), not jump.
+	s.observe(2) // halve: 4
+	s.observe(4) // grow: 5
+	if s.bound() != 5 {
+		t.Fatalf("regrowth after shrink: bound %d, want 5", s.bound())
+	}
+}

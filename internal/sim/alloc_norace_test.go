@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see alloc_race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation adds allocations of its own; the
+// hot-path allocation ceilings only hold (and only run) without it.
+const raceEnabled = true

@@ -51,19 +51,33 @@ import (
 
 	"optcc/internal/core"
 	"optcc/internal/online"
+	"optcc/internal/report"
 	"optcc/internal/storage"
 )
 
-// shardState is one dispatch loop's mailbox and parked queue.
+// shardState is one dispatch loop's mailbox and parked queue, plus the
+// loop's reusable batch scratch. The scratch fields (verdicts, decided,
+// ids, idSlot, reqs) are only ever touched by the shard's own dispatch
+// goroutine — decideBatch and retryParked run there — so batched decisions
+// allocate nothing in steady state.
 type shardState struct {
 	reqCh  chan request
 	kick   chan struct{}
 	mu     sync.Mutex
 	parked []parked
+
+	verdicts []verdict
+	decided  []bool
+	ids      []core.StepID
+	idSlot   []int
+	reqs     []request
 }
 
 func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, users, maxRestarts, batch int) (*Metrics, error) {
 	m := &Metrics{}
+	presizeMetrics(m, sys, cfg.Backend != nil)
+	var am report.AllocMeter
+	am.Start()
 	n := sys.NumTxs()
 	cs.Begin(sys)
 
@@ -74,8 +88,10 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		inFlight  = map[int]bool{}
 		woundedTx = map[int]bool{}
 
-		outMu  sync.Mutex
-		output []online.Event
+		outMu sync.Mutex
+		// output is presized to the conflict-free request count; restarts
+		// overflow into amortized append growth (cold path).
+		output = make([]online.Event, 0, sys.StepCount())
 
 		metMu sync.Mutex // guards the histograms and counters in m
 		errs  runErrors
@@ -214,11 +230,19 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		}
 	}
 
-	decideBatch := func(reqs []request, wasParked bool) []bool {
-		verdicts := make([]verdict, len(reqs))
-		decided := make([]bool, len(reqs))
-		ids := make([]core.StepID, 0, len(reqs))
-		idSlot := make([]int, 0, len(reqs))
+	decideBatch := func(ss *shardState, reqs []request, wasParked bool) []bool {
+		// All scratch comes from the shard state: decideBatch only ever
+		// runs on ss's dispatch goroutine, and the returned decided slice
+		// is consumed before the loop's next batch.
+		ss.verdicts = ss.verdicts[:0]
+		ss.decided = ss.decided[:0]
+		for range reqs {
+			ss.verdicts = append(ss.verdicts, verdict{})
+			ss.decided = append(ss.decided, false)
+		}
+		verdicts, decided := ss.verdicts, ss.decided
+		ids := ss.ids[:0]
+		idSlot := ss.idSlot[:0]
 		anyAbort := false
 		for i, r := range reqs {
 			txMu.Lock()
@@ -236,6 +260,7 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 			ids = append(ids, core.StepID{Tx: r.tx, Idx: r.idx})
 			idSlot = append(idSlot, i)
 		}
+		ss.ids, ss.idSlot = ids, idSlot
 		var ds []online.Decision
 		if len(ids) > 0 {
 			ds = online.TryBatch(cs, ids)
@@ -291,7 +316,6 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	// the loop's current adaptive bound), until a full scan makes no
 	// progress.
 	retryParked := func(ss *shardState, bound int) {
-		var reqs []request // lazily grown; unused on the scalar (bound 1) path
 		for {
 			progressed := false
 			ss.mu.Lock()
@@ -312,11 +336,12 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 					}
 					continue
 				}
-				reqs = reqs[:0]
+				reqs := ss.reqs[:0]
 				for _, p := range ss.parked[start:end] {
 					reqs = append(reqs, p.req)
 				}
-				dec := decideBatch(reqs, true)
+				ss.reqs = reqs
+				dec := decideBatch(ss, reqs, true)
 				for i, d := range dec {
 					if d {
 						parkedCount.Add(-1)
@@ -461,7 +486,7 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							parkedNew++
 						}
 					} else {
-						dec := decideBatch(intake, false)
+						dec := decideBatch(ss, intake, false)
 						now := time.Now()
 						ss.mu.Lock()
 						for i, d := range dec {
@@ -527,6 +552,12 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		go func(user int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(user)*7919))
+			// reply is this user's reusable verdict channel: every request
+			// gets exactly one reply and the user reads it before its next
+			// request (the deadlock breaker's victim reply is that one
+			// reply too), so one buffered channel per user replaces the
+			// per-step allocation.
+			reply := make(chan verdict, 1)
 			for tx := range jobCh {
 				txStart := time.Now()
 				for {
@@ -537,7 +568,6 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 							time.Sleep(time.Duration(rng.Int63n(int64(cfg.ThinkTime) + 1)))
 						}
 						sent := time.Now()
-						reply := make(chan verdict, 1)
 						shard := cs.ShardOf(sys.Txs[tx].Steps[idx].Var)
 						select {
 						case shards[shard].reqCh <- request{tx: tx, idx: idx, arrived: sent, reply: reply}:
@@ -635,5 +665,6 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	if m.Elapsed > 0 {
 		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
 	}
+	fillAllocStats(m, &am)
 	return m, nil
 }

@@ -24,6 +24,19 @@
 // compare the waiting time induced by schedulers with poorer or richer
 // fixpoint sets (E4), deadlock-handling policies (E7), structured versus
 // unstructured locking (E6), and real storage execution (E9).
+//
+// # Memory discipline
+//
+// The steady-state request→grant→execute→commit cycle is allocation-free
+// (DESIGN.md "Memory discipline", enforced by TestHotPathAllocCeilings):
+// each user goroutine reuses one verdict reply channel for all its
+// requests, the histograms and the granted-step log are presized to the
+// run's expected sample counts, the dispatch loops' batch buffers are
+// per-loop scratch, and commit flows through pooled lock-table and
+// group-commit state. The allocations that remain in the drivers are
+// deliberately confined to cold paths: restart bookkeeping after an abort,
+// the deadlock breaker's stuck-set, the failure path's error wrapping, and
+// end-of-run projection/reporting.
 package sim
 
 import (
@@ -112,6 +125,16 @@ type Metrics struct {
 	Elapsed time.Duration
 	// Throughput is committed jobs per second of wall clock.
 	Throughput float64
+	// AllocBytes is the heap bytes allocated during the run and AllocsPerTx
+	// the heap objects allocated per committed transaction, both from the
+	// runtime/metrics allocation counters (report.AllocMeter — NOT
+	// runtime.ReadMemStats, whose stop-the-world measurably skews
+	// sub-millisecond runs). The counters are process-global, so
+	// concurrent activity outside the run pollutes them — they are the
+	// trend meters behind ccbench -allocstats; the enforced per-step
+	// ceilings live in TestHotPathAllocCeilings.
+	AllocBytes  int64
+	AllocsPerTx float64
 	// Output is the granted-step log projected to committed transactions'
 	// final attempts, in grant order: a legal prefix (whole transactions
 	// only) of the instance system, and a complete legal schedule when every
@@ -173,7 +196,9 @@ type parked struct {
 // transaction must be aborted through the scheduler (rollback before lock
 // release) and stopped. last marks a failure on the final step, whose grant
 // already recorded the transaction as committed — that record must be
-// undone before the abort.
+// undone before the abort. ack is the reporting user's reusable
+// acknowledgement channel (capacity 1): the scheduler sends on it when the
+// abort is processed.
 type failure struct {
 	tx   int
 	last bool
@@ -266,6 +291,9 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 
 	m := &Metrics{}
+	presizeMetrics(m, sys, cfg.Backend != nil)
+	var am report.AllocMeter
+	am.Start()
 	var mu sync.Mutex // guards metrics and sched state below
 	var errs runErrors
 
@@ -283,7 +311,9 @@ func Run(cfg Config) (*Metrics, error) {
 		wounded    = map[int]bool{}
 		attempts   = make([]int, sys.NumTxs())
 		committed  = make([]bool, sys.NumTxs())
-		output     []online.Event
+		// output is presized to the conflict-free request count; restarts
+		// overflow into amortized append growth (cold path).
+		output = make([]online.Event, 0, sys.StepCount())
 	)
 	for i := range attempts {
 		attempts[i] = 1
@@ -494,7 +524,7 @@ func Run(cfg Config) (*Metrics, error) {
 				retryParked()
 				checkDeadlock()
 				mu.Unlock()
-				close(f.ack)
+				f.ack <- struct{}{}
 			case <-done:
 				return
 			}
@@ -508,6 +538,13 @@ func Run(cfg Config) (*Metrics, error) {
 		go func(user int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(user)*7919))
+			// reply and ack are this user's reusable one-shot channels:
+			// every request gets exactly one verdict and the user reads it
+			// before issuing the next request, so one buffered channel per
+			// user replaces the per-step make(chan verdict, 1) that
+			// dominated the hot path's allocations.
+			reply := make(chan verdict, 1)
+			ack := make(chan struct{}, 1)
 			for tx := range jobCh {
 				txStart := time.Now()
 				for {
@@ -518,7 +555,6 @@ func Run(cfg Config) (*Metrics, error) {
 							time.Sleep(time.Duration(rng.Int63n(int64(cfg.ThinkTime) + 1)))
 						}
 						sent := time.Now()
-						reply := make(chan verdict, 1)
 						reqCh <- request{tx: tx, idx: idx, arrived: sent, reply: reply}
 						v := <-reply
 						mu.Lock()
@@ -537,7 +573,6 @@ func Run(cfg Config) (*Metrics, error) {
 							// and stop this transaction for good — no later
 							// steps, no commit. Run surfaces the recorded
 							// error.
-							ack := make(chan struct{})
 							failCh <- failure{tx: tx, last: v.lastGranted, ack: ack}
 							<-ack
 							failed = true
@@ -592,7 +627,32 @@ func Run(cfg Config) (*Metrics, error) {
 		m.Throughput = float64(m.Committed) / m.Elapsed.Seconds()
 	}
 	m.Output = projectFinal(output, committed)
+	fillAllocStats(m, &am)
 	return m, nil
+}
+
+// presizeMetrics reserves the histograms' expected steady-state sample
+// counts — one wait-or-sched sample per request, one latency sample per
+// job, one exec sample per applied step — so recording a sample never
+// allocates on a conflict-free run (restarts overflow into amortized
+// growth, a cold path).
+func presizeMetrics(m *Metrics, sys *core.System, backend bool) {
+	steps := sys.StepCount()
+	m.WaitNs.Grow(steps)
+	m.SchedNs.Grow(steps)
+	m.TxLatencyNs.Grow(sys.NumTxs())
+	if backend {
+		m.ExecNs.Grow(steps)
+	}
+}
+
+// fillAllocStats closes the run's allocation meter into the metrics.
+func fillAllocStats(m *Metrics, am *report.AllocMeter) {
+	allocs, bytes := am.Delta()
+	m.AllocBytes = bytes
+	if m.Committed > 0 {
+		m.AllocsPerTx = float64(allocs) / float64(m.Committed)
+	}
 }
 
 // projectFinal keeps each committed transaction's last attempt from the
@@ -609,7 +669,7 @@ func projectFinal(output []online.Event, committed []bool) core.Schedule {
 			lastAttempt[e.Step.Tx] = e.Attempt
 		}
 	}
-	var h core.Schedule
+	h := make(core.Schedule, 0, len(output))
 	for _, e := range output {
 		if committed[e.Step.Tx] && e.Attempt == lastAttempt[e.Step.Tx] {
 			h = append(h, e.Step)

@@ -35,10 +35,13 @@ type GroupCommitter struct {
 }
 
 // commitLane is one pipeline partition: a queue plus the driver flag of the
-// leader/follower protocol.
+// leader/follower protocol. queue and free are a double buffer — the driver
+// swaps them on every group so enqueues append into retained capacity and
+// the steady-state pipeline allocates nothing per group.
 type commitLane struct {
 	mu      sync.Mutex
 	queue   []int
+	free    []int
 	driving atomic.Bool
 }
 
@@ -97,14 +100,20 @@ func (g *GroupCommitter) drive(l *commitLane) {
 
 // drain processes the lane queue group by group until it is empty. Each
 // swap of the queue under the lane mutex is one group: everything that
-// accumulated while the previous group was committing.
+// accumulated while the previous group was committing. The swap trades the
+// queue for the lane's spare buffer (and hands the drained group back as
+// the next spare), so a warm lane commits whole groups without allocating.
 func (g *GroupCommitter) drain(l *commitLane) {
 	for {
 		l.mu.Lock()
 		group := l.queue
-		l.queue = nil
+		l.queue = l.free[:0]
+		l.free = nil
 		l.mu.Unlock()
 		if len(group) == 0 {
+			l.mu.Lock()
+			l.free = group
+			l.mu.Unlock()
 			return
 		}
 		for _, tx := range group {
@@ -117,6 +126,9 @@ func (g *GroupCommitter) drain(l *commitLane) {
 		}
 		g.groups.Add(1)
 		g.txs.Add(int64(len(group)))
+		l.mu.Lock()
+		l.free = group[:0]
+		l.mu.Unlock()
 	}
 }
 

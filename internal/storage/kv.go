@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -46,12 +47,89 @@ type Config struct {
 	// Sizer, when non-nil, gives each variable its payload size; workloads
 	// supply sizers (e.g. workload.UniformPayload) to model value-size skew.
 	Sizer func(v core.Var) int
+	// Recycle returns dead payload buffers to the per-shard size-classed
+	// freelists: a Commit recycles the records its undo log displaced, and
+	// a Rollback recycles the dying writes it removes from the store, so a
+	// warmed-up run's Put path allocates no payload bytes at all.
+	//
+	// Aliasing rule (DESIGN.md "Memory discipline"): Recycle is sound only
+	// under STRICT execution — no transaction reads or overwrites a value
+	// written by an uncommitted transaction. Strictness guarantees every
+	// reader of a displaced record finished with it (its checksum read
+	// completes before the reader releases the lock that blocked the
+	// displacing writer), and that a rolled-back record was only ever seen
+	// by its own transaction. Under a non-strict scheduler (SGT-style, TO,
+	// OCC) a dirty reader may still hold a record when its buffer is
+	// recycled — leave Recycle off there, as the runtime does.
+	Recycle bool
 }
 
-// kvShard is one map partition with its own lock.
+// kvShard is one map partition with its own lock, plus the shard's
+// size-classed payload freelists (sharding the freelists with the data
+// keeps recycling contention as partitioned as the writes themselves).
 type kvShard struct {
 	mu   sync.RWMutex
 	data map[core.Var]*Record
+
+	freeMu sync.Mutex
+	free   [numClasses][][]byte
+}
+
+// numClasses bounds the power-of-two size classes of the payload
+// freelists: class c holds buffers of capacity 1<<c, up to 8 MiB. Larger
+// payloads fall back to the allocator.
+const numClasses = 24
+
+// classFree caps each per-shard, per-class freelist so a burst of aborts
+// cannot pin an unbounded amount of dead payload memory.
+const classFree = 256
+
+// classOf returns the size class whose buffers hold size bytes, or -1 when
+// the size is out of the classed range.
+func classOf(size int) int {
+	if size <= 0 || size > 1<<(numClasses-1) {
+		return -1
+	}
+	c := bits.Len(uint(size - 1))
+	return c
+}
+
+// getBuf returns a payload buffer of the given size from the shard's
+// freelist, or a fresh one with class-rounded capacity so it can be
+// recycled later.
+func (sh *kvShard) getBuf(size int) []byte {
+	c := classOf(size)
+	if c < 0 {
+		return make([]byte, size)
+	}
+	sh.freeMu.Lock()
+	if n := len(sh.free[c]); n > 0 {
+		p := sh.free[c][n-1]
+		sh.free[c][n-1] = nil
+		sh.free[c] = sh.free[c][:n-1]
+		sh.freeMu.Unlock()
+		return p[:size]
+	}
+	sh.freeMu.Unlock()
+	return make([]byte, size, 1<<c)
+}
+
+// putBuf returns a dead payload buffer to the shard's freelist. Buffers
+// whose capacity is not an exact class size (or whose class is full) are
+// dropped to the garbage collector.
+func (sh *kvShard) putBuf(p []byte) {
+	if cap(p) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(p)) - 1)
+	if c >= numClasses || cap(p) != 1<<c {
+		return
+	}
+	sh.freeMu.Lock()
+	if len(sh.free[c]) < classFree {
+		sh.free[c] = append(sh.free[c], p[:cap(p)])
+	}
+	sh.freeMu.Unlock()
 }
 
 // txCtx is a transaction's execution context: the paper's local variables
@@ -78,6 +156,10 @@ type KV struct {
 
 	ctxMu sync.Mutex
 	ctx   map[int]*txCtx
+	// ctxPool recycles transaction contexts (locals and undo slices keep
+	// their capacity), so a warmed-up commit/restart cycle allocates no
+	// per-transaction bookkeeping.
+	ctxPool sync.Pool
 
 	reads, writes, bytesRead, bytesWritten, rollbacks atomic.Int64
 }
@@ -125,10 +207,12 @@ func checksum(p []byte) byte {
 
 // newRecord builds an immutable record: prev's payload is copied (or a
 // fresh deterministic fill when prev is nil or resized), the scalar is
-// stamped into the first 8 bytes, and the checksum is computed.
+// stamped into the first 8 bytes, and the checksum is computed. The buffer
+// comes from the variable's shard freelist; a recycled buffer may hold
+// stale bytes, so both branches overwrite all size bytes.
 func (kv *KV) newRecord(v core.Var, scalar core.Value, prev *Record) *Record {
 	size := kv.sizeOf(v)
-	p := make([]byte, size)
+	p := kv.shard(v).getBuf(size)
 	if prev != nil && len(prev.Payload) == size {
 		copy(p, prev.Payload)
 	} else {
@@ -169,16 +253,32 @@ func (kv *KV) Reset(init core.DB) {
 	}
 }
 
-// ctxOf returns tx's execution context, creating it on first use.
+// ctxOf returns tx's execution context, drawing a recycled one from the
+// pool on first use.
 func (kv *KV) ctxOf(tx int) *txCtx {
 	kv.ctxMu.Lock()
 	defer kv.ctxMu.Unlock()
 	c := kv.ctx[tx]
 	if c == nil {
-		c = &txCtx{}
+		if p, ok := kv.ctxPool.Get().(*txCtx); ok {
+			c = p
+		} else {
+			c = &txCtx{}
+		}
 		kv.ctx[tx] = c
 	}
 	return c
+}
+
+// releaseCtx clears a finished context (dropping record references so the
+// pool does not pin them) and returns it to the pool.
+func (kv *KV) releaseCtx(c *txCtx) {
+	c.locals = c.locals[:0]
+	for i := range c.undo {
+		c.undo[i] = undoRec{}
+	}
+	c.undo = c.undo[:0]
+	kv.ctxPool.Put(c)
 }
 
 // Get implements Backend. The checksum is verified outside the shard lock —
@@ -253,16 +353,35 @@ func (kv *KV) ApplyStep(tx int, step core.Step) error {
 	return nil
 }
 
-// Commit implements Backend: drop tx's undo log and locals.
+// Commit implements Backend: drop tx's undo log and locals. With Recycle
+// on, the displaced records in the undo log are dead — under strict
+// execution every reader of a displaced record finished with it before the
+// displacing write could be granted — so their payload buffers go back to
+// the shard freelists.
 func (kv *KV) Commit(tx int) {
 	kv.ctxMu.Lock()
+	c := kv.ctx[tx]
 	delete(kv.ctx, tx)
 	kv.ctxMu.Unlock()
+	if c == nil {
+		return
+	}
+	if kv.cfg.Recycle {
+		for _, u := range c.undo {
+			if u.prev != nil {
+				kv.shard(u.v).putBuf(u.prev.Payload)
+			}
+		}
+	}
+	kv.releaseCtx(c)
 }
 
 // Rollback implements Backend: replay tx's undo log in reverse, restoring
 // each displaced record (byte-identical — records are immutable), then drop
-// the context so the restart begins with fresh locals.
+// the context so the restart begins with fresh locals. With Recycle on,
+// the dying writes the restore removes from the store — records only this
+// transaction ever saw, under strict execution — return their payload
+// buffers to the shard freelists.
 func (kv *KV) Rollback(tx int) {
 	kv.ctxMu.Lock()
 	c := kv.ctx[tx]
@@ -278,13 +397,18 @@ func (kv *KV) Rollback(tx int) {
 		u := c.undo[i]
 		sh := kv.shard(u.v)
 		sh.mu.Lock()
+		dying := sh.data[u.v]
 		if u.prev == nil {
 			delete(sh.data, u.v)
 		} else {
 			sh.data[u.v] = u.prev
 		}
 		sh.mu.Unlock()
+		if kv.cfg.Recycle && dying != nil && dying != u.prev {
+			sh.putBuf(dying.Payload)
+		}
 	}
+	kv.releaseCtx(c)
 }
 
 // State implements Backend.

@@ -1,0 +1,47 @@
+package storage
+
+import "optcc/internal/core"
+
+// Noop is the backend that does no storage work at all: every operation is
+// a constant-time no-op and State is always empty. It exists to measure
+// the runtime around the storage layer — with Noop plugged in, a run's
+// execution path is exercised end to end (ApplyStep, Commit, Rollback all
+// flow through the Backend interface) while the step cost and allocation
+// count are exactly zero, which is what the hot-path allocation ceilings
+// (BenchmarkHotPathAllocs) and pure scheduler-overhead benchmarks need.
+// The replay invariant does not apply: State returns an empty database by
+// construction, so self-checking experiments must not use it.
+type Noop struct{}
+
+var _ Backend = Noop{}
+
+// NewNoop returns the no-op backend.
+func NewNoop() Noop { return Noop{} }
+
+// Name implements Backend.
+func (Noop) Name() string { return "noop" }
+
+// Reset implements Backend.
+func (Noop) Reset(core.DB) {}
+
+// Get implements Backend.
+func (Noop) Get(int, core.Var) core.Value { return 0 }
+
+// Put implements Backend.
+func (Noop) Put(int, core.Var, core.Value) {}
+
+// Scan implements Backend.
+func (Noop) Scan(func(v core.Var, scalar core.Value) bool) {}
+
+// ApplyStep implements Backend: the step is accepted without evaluating
+// its interpretation — zero work, zero allocations.
+func (Noop) ApplyStep(int, core.Step) error { return nil }
+
+// Commit implements Backend.
+func (Noop) Commit(int) {}
+
+// Rollback implements Backend.
+func (Noop) Rollback(int) {}
+
+// State implements Backend.
+func (Noop) State() core.DB { return core.DB{} }

@@ -85,12 +85,15 @@ type Backend interface {
 // New builds a backend by name with the given configuration. It is the one
 // backend registry — cmd/ccsim and internal/experiments both resolve names
 // through it, so a new backend (e.g. a disk store) registers here once.
-// Known names: "kv" (the sharded in-memory store).
+// Known names: "kv" (the sharded in-memory store) and "noop" (the
+// do-nothing backend for measuring pure runtime overhead — see Noop).
 func New(name string, cfg Config) (Backend, error) {
 	switch name {
 	case "kv":
 		return NewKV(cfg), nil
+	case "noop":
+		return NewNoop(), nil
 	default:
-		return nil, fmt.Errorf("storage: unknown backend %q (known: kv)", name)
+		return nil, fmt.Errorf("storage: unknown backend %q (known: kv, noop)", name)
 	}
 }

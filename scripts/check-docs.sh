@@ -79,6 +79,40 @@ if ! grep -q 'E11' internal/experiments/experiments.go; then
   fail=1
 fi
 
+# The profiling / allocation-measurement surface must stay documented:
+# the ccbench profiling flags, the bench-diff workflow and the memory
+# discipline section that states the zero-allocation invariant.
+for f in -cpuprofile -memprofile -allocstats; do
+  if ! grep -qe "$f" README.md; then
+    echo "check-docs: README.md does not document the ccbench $f flag"
+    fail=1
+  fi
+done
+for name in cpuprofile memprofile allocstats; do
+  if ! grep -q "\"$name\"" cmd/ccbench/main.go; then
+    echo "check-docs: cmd/ccbench lost its -$name flag"
+    fail=1
+  fi
+done
+if ! grep -q 'Memory discipline' DESIGN.md; then
+  echo "check-docs: DESIGN.md lost its Memory discipline section"
+  fail=1
+fi
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'bench-diff' "$doc"; then
+    echo "check-docs: $doc does not document the bench-diff workflow"
+    fail=1
+  fi
+done
+if ! grep -q 'bench-diff' Makefile; then
+  echo "check-docs: Makefile lost its bench-diff target"
+  fail=1
+fi
+if ! grep -q 'noop' internal/storage/storage.go; then
+  echo "check-docs: storage registry lost the noop backend"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL"
   exit 1
