@@ -23,7 +23,7 @@ bench:
 # touches the engine refreshes its BENCH_PR<n>.json so the repository
 # accumulates a throughput trajectory that later PRs can diff against.
 bench-json:
-	$(GO) run ./cmd/ccbench -exp E8,E10,E11 -json > BENCH_PR5.json
+	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12 -json > BENCH_PR6.json
 
 # Per-experiment throughput delta between the two newest snapshots
 # (version-sorted, so PR10 follows PR9). See cmd/benchdiff.

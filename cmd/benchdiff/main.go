@@ -11,10 +11,13 @@
 // (the sweeps are deterministic grids, so row i of a table is the same
 // configuration in both snapshots; the first cell labels it). Every
 // column whose header contains "tx/s" is treated as a throughput column.
-// Experiments or tables present in only one snapshot are reported and
-// skipped. The exit status is always 0 — the deltas are a measurement,
-// not a gate; the enforced regression gates are the allocation ceilings
-// in internal/sim.
+// Experiments or tables present in only one snapshot are tolerated and
+// reported — `new` for entries only in the new snapshot (a freshly added
+// experiment), `gone` for entries only in the old one (a removed or
+// renamed experiment) — so snapshots from PRs that add or drop
+// experiments still diff cleanly. The exit status is always 0 — the
+// deltas are a measurement, not a gate; the enforced regression gates are
+// the allocation ceilings in internal/sim.
 package main
 
 import (
@@ -80,22 +83,36 @@ func main() {
 		oldByID[r.ID] = r
 	}
 
+	newByID := map[string]bool{}
+	for _, r := range newRes {
+		newByID[r.ID] = true
+	}
+
 	fmt.Printf("throughput delta: %s → %s\n\n", oldPath, newPath)
 	for _, nr := range newRes {
 		or, ok := oldByID[nr.ID]
 		if !ok {
-			fmt.Printf("%s: only in %s, skipped\n", nr.ID, newPath)
+			fmt.Printf("%s: new (only in %s), no baseline to diff\n", nr.ID, newPath)
 			continue
 		}
 		oldTables := map[string]jsonTable{}
 		for _, t := range or.Tables {
 			oldTables[t.Title] = t
 		}
+		newTables := map[string]bool{}
+		for _, t := range nr.Tables {
+			newTables[t.Title] = true
+		}
+		for _, ot := range or.Tables {
+			if !newTables[ot.Title] {
+				fmt.Printf("%s: table %q gone (only in %s)\n", nr.ID, ot.Title, oldPath)
+			}
+		}
 		var deltas []float64
 		for _, nt := range nr.Tables {
 			ot, ok := oldTables[nt.Title]
 			if !ok {
-				fmt.Printf("%s: table %q only in %s, skipped\n", nr.ID, nt.Title, newPath)
+				fmt.Printf("%s: table %q new (only in %s), no baseline to diff\n", nr.ID, nt.Title, newPath)
 				continue
 			}
 			col := throughputCol(nt.Headers)
@@ -123,6 +140,11 @@ func main() {
 				sum += d
 			}
 			fmt.Printf("%s mean delta: %+.1f%% over %d rows\n\n", nr.ID, sum/float64(len(deltas)), len(deltas))
+		}
+	}
+	for _, or := range oldRes {
+		if !newByID[or.ID] {
+			fmt.Printf("%s: gone (only in %s)\n", or.ID, oldPath)
 		}
 	}
 }

@@ -1,5 +1,5 @@
 // Command ccbench runs the paper-reproduction experiments (T1–T4 theorems,
-// F1–F5 figures, E1–E11 measurements) and prints their tables.
+// F1–F5 figures, E1–E12 measurements) and prints their tables.
 //
 // Usage:
 //
@@ -12,6 +12,7 @@
 //	ccbench -exp E9 -backend kv                # real-storage execution sweep
 //	ccbench -exp E10 -batch 1,16,64 -users 8   # batched-dispatch sweep
 //	ccbench -exp E11 -shards 1,4 -railstripes 8  # native-TO / rail sweep
+//	ccbench -exp E12 -readfrac 0.5,0.99 -users 16  # multiversion read sweep
 //
 // Profiling and allocation measurement (the perf workflow behind the
 // zero-allocation hot path, DESIGN.md "Memory discipline"):
@@ -68,6 +69,22 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseFracList parses "0.5,0.9,0.99" into fractions in [0,1].
+func parseFracList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("fraction %v out of [0,1]", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		expFlag     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
@@ -78,6 +95,7 @@ func main() {
 		usersFlag   = flag.String("users", "", "comma-separated user counts for the E8/E10 sweeps (E8 default 4,8; E10 default 16,48); the first entry also sets E11's users")
 		batchFlag   = flag.String("batch", "", "comma-separated batch sizes for the E10 batched-dispatch sweep (default 1,8,32)")
 		stripesFlag = flag.Int("railstripes", 0, "ordering-rail stripe count for the E11 sweep (0 = one per shard)")
+		fracFlag    = flag.String("readfrac", "", "comma-separated read fractions for the E12 multiversion sweep (default 0.5,0.9,0.99)")
 		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11 real-execution sweeps (kv|noop; default kv)")
 		cpuFlag     = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memFlag     = flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
@@ -126,6 +144,7 @@ func main() {
 		experiments.E8Config.Shards = sweep
 		experiments.E10Config.Shards = sweep
 		experiments.E11Config.Shards = sweep
+		experiments.E12Config.Shards = sweep[0]
 	}
 	if *usersFlag != "" {
 		sweep, err := parseIntList(*usersFlag)
@@ -136,6 +155,7 @@ func main() {
 		experiments.E8Config.Users = sweep
 		experiments.E10Config.Users = sweep
 		experiments.E11Config.Users = sweep[0]
+		experiments.E12Config.Users = sweep[0]
 	}
 	if *batchFlag != "" {
 		sweep, err := parseIntList(*batchFlag)
@@ -147,6 +167,14 @@ func main() {
 	}
 	if *stripesFlag > 0 {
 		experiments.E11Config.RailStripes = *stripesFlag
+	}
+	if *fracFlag != "" {
+		sweep, err := parseFracList(*fracFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: bad -readfrac: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.E12Config.ReadFracs = sweep
 	}
 
 	runners, order := experiments.All()

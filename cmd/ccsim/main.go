@@ -11,16 +11,25 @@
 //	ccsim -workload hotshard -sched 2pl-woundwait -shards 4 -batch 16 -backend kv
 //	ccsim -workload disjoint -sched cto -shards 4 -users 16
 //	ccsim -workload crosspairs -sched to -shards 4 -railstripes 8
+//	ccsim -workload readmostly -readfrac 0.95 -sched mv -shards 4 -backend kv
 //
 // -shards 0 (default) runs the classic centralized scheduler goroutine;
 // -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
 // hash-partitioned scheduler state. -sched cto / cto-thomas select the
 // natively concurrent timestamp-ordering scheduler (lock-free sharded
 // atomic timestamp table, no shard mutexes, no ordering rail); it always
-// runs on the dispatch loops. For single-threaded schedulers behind the
-// Sharded combinator, -railstripes sets how many lock stripes the
-// cross-shard ordering rail is partitioned into (0 = one per shard; 1 =
-// the single-mutex degenerate).
+// runs on the dispatch loops. -sched mv selects the multiversion/optimistic
+// scheduler (write claims with first-writer-wins over the same timestamp
+// table); with the kv backend's version chains, read-only transactions are
+// served from pinned lock-free storage snapshots and never enter the grant
+// machinery at all. For single-threaded schedulers behind the Sharded
+// combinator, -railstripes sets how many lock stripes the cross-shard
+// ordering rail is partitioned into (0 = one per shard; 1 = the
+// single-mutex degenerate).
+//
+// -workload readmostly generates the read-fraction workload: -readfrac of
+// the jobs are read-only (all-Read), the rest increment writers, all
+// skewed onto a small hot set — the E12 regime.
 //
 // -batch N > 1 turns on batched dispatch: each loop drains up to N queued
 // requests (the bound adapts between 1 and N by observed backlog — AIMD —
@@ -100,6 +109,8 @@ func schedulerByName(name string, shards, railStripes int) (online.Scheduler, bo
 		return online.NewConcurrentTO(max(shards, 1)), true
 	case "cto-thomas":
 		return online.NewConcurrentTOThomas(max(shards, 1)), true
+	case "mv":
+		return online.NewConcurrentMV(max(shards, 1)), true
 	}
 	factory, policy, is2PL, ok := schedulerFactory(name)
 	if !ok {
@@ -117,7 +128,7 @@ func schedulerByName(name string, shards, railStripes int) (online.Scheduler, bo
 	return online.NewSharded(shards, factory), true
 }
 
-func workloadByName(name string, seed int64, jobs int) (*core.System, bool) {
+func workloadByName(name string, seed int64, jobs int, readFrac float64) (*core.System, bool) {
 	switch name {
 	case "banking":
 		return workload.Banking(), true
@@ -141,6 +152,12 @@ func workloadByName(name string, seed int64, jobs int) (*core.System, bool) {
 		// reason as disjoint: cycling the template would alias pair
 		// variables and break the pairwise-only-conflict shape.
 		return workload.CrossPairs(max(jobs, 2) / 2), true
+	case "readmostly":
+		// Sized to the job count: the read-only/writer mix is a per-
+		// transaction property, so cycling a smaller template would skew
+		// the requested -readfrac.
+		return workload.ReadMostly(workload.ReadMostlyConfig{
+			Jobs: max(jobs, 1), Steps: 4, ReadFrac: readFrac}, seed), true
 	case "tree":
 		return workload.PathWorkload(4, 4, seed), true
 	case "random":
@@ -152,8 +169,8 @@ func workloadByName(name string, seed int64, jobs int) (*core.System, bool) {
 
 func main() {
 	var (
-		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|hotshard|disjoint|crosspairs|tree|random")
-		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|cto|cto-thomas|occ|treelock")
+		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|hotshard|disjoint|crosspairs|readmostly|tree|random")
+		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|cto|cto-thomas|mv|occ|treelock")
 		jobs      = flag.Int("jobs", 32, "transaction instances to run")
 		users     = flag.Int("users", 8, "concurrent user goroutines")
 		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
@@ -164,10 +181,15 @@ func main() {
 		exec      = flag.Duration("exec", 100*time.Microsecond, "extra simulated per-step execution time")
 		think     = flag.Duration("think", 0, "max per-step user think time")
 		seed      = flag.Int64("seed", 1979, "random seed")
+		readFrac  = flag.Float64("readfrac", 0.9, "fraction of read-only transactions in the readmostly workload")
 	)
 	flag.Parse()
 
-	template, ok := workloadByName(*wl, *seed, *jobs)
+	if *readFrac < 0 || *readFrac > 1 {
+		fmt.Fprintf(os.Stderr, "ccsim: -readfrac %v out of [0,1]\n", *readFrac)
+		os.Exit(2)
+	}
+	template, ok := workloadByName(*wl, *seed, *jobs, *readFrac)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ccsim: unknown workload %q\n", *wl)
 		os.Exit(2)
@@ -186,7 +208,8 @@ func main() {
 		}
 		// Payload-buffer recycling is only sound under strict execution
 		// (storage.Config.Recycle), so enable it exactly for the strict
-		// scheduler family.
+		// scheduler family — mv's read-write transactions use unpinned
+		// chain reads, so it stays off there too.
 		strict := *sc == "serial" || strings.HasPrefix(*sc, "2pl")
 		var err error
 		be, err = storage.New(*backend, storage.Config{Shards: s, ValueSize: *valueSize, Recycle: strict})
@@ -229,13 +252,31 @@ func main() {
 			st := kv.Stats()
 			fmt.Printf("backend        %s reads=%d writes=%d rollbacks=%d bytesRead=%d bytesWritten=%d\n",
 				kv.Name(), st.Reads, st.Writes, st.Rollbacks, st.BytesRead, st.BytesWritten)
+			if st.SnapshotReads > 0 || st.VersionsGCed > 0 {
+				fmt.Printf("multiversion   snapshotReads=%d versionsGCed=%d\n", st.SnapshotReads, st.VersionsGCed)
+			}
 		}
 		if m.Committed == inst.NumTxs() {
-			replay, rerr := core.Exec(inst, m.Output, inst.InitialStates()[0])
+			// Read-only transactions served from storage snapshots produce
+			// no granted steps; append their (all-Read, state-neutral)
+			// steps so the committed schedule is complete for core.Exec.
+			full := append([]core.StepID{}, m.Output...)
+			seen := make([]int, inst.NumTxs())
+			for _, id := range m.Output {
+				seen[id.Tx]++
+			}
+			for tx := range seen {
+				if seen[tx] == 0 {
+					for idx := range inst.Txs[tx].Steps {
+						full = append(full, core.StepID{Tx: tx, Idx: idx})
+					}
+				}
+			}
+			replay, rerr := core.Exec(inst, full, inst.InitialStates()[0])
 			if rerr != nil {
 				fmt.Printf("state==replay  unknown (%v)\n", rerr)
 			} else {
-				fmt.Printf("state==replay  %v (guaranteed for serial and the strict-2PL family)\n", be.State().Equal(replay))
+				fmt.Printf("state==replay  %v (guaranteed for serial, the strict-2PL family and mv write sets)\n", be.State().Equal(replay))
 			}
 		}
 	}

@@ -14,7 +14,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
 	}
 	for _, id := range order {
-		if id == "E4" || id == "E8" || id == "E9" || id == "E11" {
+		if id == "E4" || id == "E8" || id == "E9" || id == "E11" || id == "E12" {
 			continue // covered by the TestE*Quick variants to keep the suite fast
 		}
 		r, err := m[id]()
@@ -114,6 +114,28 @@ func TestE11Quick(t *testing.T) {
 	}
 }
 
+func TestE12Quick(t *testing.T) {
+	r, err := E12Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E12 quick tables = %d", len(r.Tables))
+	}
+	// One mv, one 2PL and one cto row per read fraction; the runner itself
+	// asserts the per-scheduler self-checks (state==replay for mv and 2pl,
+	// committed-schedule CSR for cto). mv must actually have used the
+	// snapshot path.
+	for _, tbl := range r.Tables {
+		s := tbl.String()
+		for _, want := range []string{"mv(", "2pl-sharded(", "cto("} {
+			if !strings.Contains(s, want) {
+				t.Errorf("E12 table missing %q rows:\n%s", want, s)
+			}
+		}
+	}
+}
+
 func TestNewBackendUnknown(t *testing.T) {
 	if _, err := NewBackend("bogus", 1, 0); err == nil {
 		t.Error("unknown backend accepted")
@@ -122,7 +144,7 @@ func TestNewBackendUnknown(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

@@ -59,6 +59,31 @@ func kvRecycleBackend() storage.Backend {
 	return storage.NewKV(storage.Config{Shards: 4, ValueSize: 256, Recycle: true})
 }
 
+// snapshotBench measures the read-only snapshot fast path: every
+// transaction is all-Read, so the runtime serves each one from a pinned
+// multiversion-KV snapshot — no grants, no rail traffic, no shard
+// mutexes — and the warmed-up path must not allocate at all.
+func snapshotBench(b *testing.B) {
+	template := workload.ReadMostly(workload.ReadMostlyConfig{
+		Jobs: hotPathVars, Steps: 3, ReadFrac: 1, Vars: hotPathVars, HotVars: 1,
+	}, 1)
+	inst := Instantiate(template, b.N)
+	be := storage.NewKV(storage.Config{Shards: 4, ValueSize: 256})
+	sched := online.NewConcurrentMV(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m, err := Run(Config{System: inst, Sched: sched, Backend: be, Users: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.Committed != b.N {
+		b.Fatalf("committed %d of %d", m.Committed, b.N)
+	}
+	if m.SnapshotReads != int64(3*b.N) {
+		b.Fatalf("snapshot reads %d, want %d", m.SnapshotReads, 3*b.N)
+	}
+}
+
 // hotPathCases are the measured configurations and their enforced
 // ceilings (allocs per committed three-step transaction):
 //
@@ -73,6 +98,9 @@ func kvRecycleBackend() storage.Backend {
 //   - mutexed-kv: real storage with payload recycling measures 3 — one
 //     immutable Record struct per write step; the payload bytes
 //     themselves are pooled. Ceiling 8 leaves restart headroom.
+//   - mv-snapshot-kv: read-only transactions through the multiversion
+//     snapshot path perform ZERO allocations — acquire, chain-walk reads
+//     and release touch no lock and build nothing on the heap.
 var hotPathCases = []struct {
 	name    string
 	ceiling int64
@@ -90,6 +118,7 @@ var hotPathCases = []struct {
 	{"mutexed-kv", 8, hotPathBench(func() online.Scheduler {
 		return online.NewMutexed(online.NewStrict2PL(lockmgr.Detect))
 	}, kvRecycleBackend)},
+	{"mv-snapshot-kv", 0, snapshotBench},
 }
 
 // BenchmarkHotPathAllocs reports ns/op and allocs/op for every hot-path

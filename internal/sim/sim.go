@@ -135,6 +135,15 @@ type Metrics struct {
 	// ceilings live in TestHotPathAllocCeilings.
 	AllocBytes  int64
 	AllocsPerTx float64
+	// SnapshotReads counts reads served through the storage snapshot path:
+	// the read-only fast path that bypasses the grant machinery entirely
+	// when the scheduler is a SnapshotSource and the backend a
+	// storage.SnapshotBackend. Zero when the fast path is off.
+	SnapshotReads int64
+	// VersionGCed counts superseded storage versions the backend's garbage
+	// collector unlinked during the run (zero for backends without version
+	// chains).
+	VersionGCed int64
 	// Output is the granted-step log projected to committed transactions'
 	// final attempts, in grant order: a legal prefix (whole transactions
 	// only) of the instance system, and a complete legal schedule when every
@@ -628,7 +637,17 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 	m.Output = projectFinal(output, committed)
 	fillAllocStats(m, &am)
+	fillSnapshotStats(m, cfg.Backend)
 	return m, nil
+}
+
+// fillSnapshotStats copies the backend's snapshot-path counters into the
+// metrics when the backend keeps version chains.
+func fillSnapshotStats(m *Metrics, be storage.Backend) {
+	if sb, ok := be.(storage.SnapshotBackend); ok {
+		m.SnapshotReads = sb.SnapshotReads()
+		m.VersionGCed = sb.VersionsGCed()
+	}
 }
 
 // presizeMetrics reserves the histograms' expected steady-state sample

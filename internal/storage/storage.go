@@ -82,6 +82,36 @@ type Backend interface {
 	State() core.DB
 }
 
+// SnapshotBackend is the optional multiversion extension of Backend: a
+// store keeping timestamp-stamped version chains can serve read-only
+// transactions from a consistent snapshot without any lock or shard-mutex
+// acquisition. A reader owns one pin slot (the runtime assigns slot = user
+// index, gated on SnapshotSlots), acquires a snapshot timestamp, reads any
+// number of variables as of that timestamp, and releases the pin; the
+// store's garbage collector never recycles a version still visible to a
+// pinned snapshot. Implemented by *KV; see DESIGN.md "Multiversion
+// storage" for visibility rules and the GC safety argument.
+type SnapshotBackend interface {
+	Backend
+	// SnapshotSlots is the number of concurrent pins supported; slots are
+	// in [0, SnapshotSlots).
+	SnapshotSlots() int
+	// SnapshotAcquire pins slot to the newest fully published commit
+	// timestamp and returns it.
+	SnapshotAcquire(slot int) int64
+	// SnapshotRelease unpins the slot.
+	SnapshotRelease(slot int)
+	// SnapshotRead returns v's value as of snapshot snap (which the caller
+	// holds pinned via slot): the newest version committed at or before
+	// snap, checksum-verified, with no lock taken.
+	SnapshotRead(slot int, v core.Var, snap int64) core.Value
+	// SnapshotReads reports reads served through the snapshot path.
+	SnapshotReads() int64
+	// VersionsGCed reports superseded versions the store unlinked (and,
+	// with recycling on, returned to its freelists).
+	VersionsGCed() int64
+}
+
 // New builds a backend by name with the given configuration. It is the one
 // backend registry — cmd/ccsim and internal/experiments both resolve names
 // through it, so a new backend (e.g. a disk store) registers here once.

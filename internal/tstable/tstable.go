@@ -56,6 +56,14 @@ func (e *Entry) MaxRead(ts int64) { maxUpdate(&e.read, ts) }
 // MaxWrite raises the write timestamp to at least ts.
 func (e *Entry) MaxWrite(ts int64) { maxUpdate(&e.write, ts) }
 
+// CASWrite installs new as the write timestamp iff it still holds old —
+// the raw CAS behind the multiversion scheduler's first-writer-wins write
+// claims (online.ConcurrentMV), which encodes an uncommitted claim as the
+// negative owner timestamp and must release it to an exact value rather
+// than a monotone max. Schedulers using CASWrite own the entry's write
+// field's encoding outright and must not mix it with MaxWrite.
+func (e *Entry) CASWrite(old, new int64) bool { return e.write.CompareAndSwap(old, new) }
+
 func maxUpdate(a *atomic.Int64, ts int64) {
 	for {
 		cur := a.Load()

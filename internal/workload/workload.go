@@ -410,6 +410,88 @@ func HotColdPayload(hot, cold int, hotVars ...core.Var) func(core.Var) int {
 	}
 }
 
+// ReadMostlyConfig tunes the read-mostly generator.
+type ReadMostlyConfig struct {
+	// Jobs is the number of transactions (default 64).
+	Jobs int
+	// Steps is the per-transaction step count (default 4).
+	Steps int
+	// ReadFrac is the fraction of transactions that are read-only — every
+	// step a Read (default 0.9). The remainder are writers whose every
+	// step is an increment Update, so writer execution is exact under
+	// replay comparison.
+	ReadFrac float64
+	// Vars is the size of the variable pool (default 64).
+	Vars int
+	// HotFrac is the probability a step touches one of the HotVars
+	// low-numbered variables instead of drawing uniformly from the pool
+	// (defaults 0.8 over 4 hot variables). HotFrac 0 disables skew.
+	HotFrac float64
+	// HotVars is the size of the hot set (default 4, capped at Vars).
+	HotVars int
+}
+
+func (c *ReadMostlyConfig) defaults() {
+	if c.Jobs == 0 {
+		c.Jobs = 64
+	}
+	if c.Steps == 0 {
+		c.Steps = 4
+	}
+	if c.ReadFrac == 0 {
+		c.ReadFrac = 0.9
+	}
+	if c.Vars == 0 {
+		c.Vars = 64
+	}
+	if c.HotFrac == 0 && c.HotVars == 0 {
+		c.HotFrac, c.HotVars = 0.8, 4
+	}
+	if c.HotVars > c.Vars {
+		c.HotVars = c.Vars
+	}
+}
+
+// ReadMostly generates the read-fraction sweep workload (experiment E12
+// and the -readfrac flag): a seeded mix of read-only transactions (all
+// steps Read) and writer transactions (all steps increment Updates), with
+// optional hot-set skew so writers collide. Read-only transactions are
+// what the multiversion runtime serves from snapshots; writers being pure
+// increments keeps every interleaving of committed writers equal to the
+// serial replay of the committed schedule, so the replay self-check stays
+// exact at any read fraction.
+func ReadMostly(cfg ReadMostlyConfig, seed int64) *core.System {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	pickVar := func() core.Var {
+		if cfg.HotFrac > 0 && rng.Float64() < cfg.HotFrac {
+			return core.Var(fmt.Sprintf("v%d", rng.Intn(cfg.HotVars)))
+		}
+		return core.Var(fmt.Sprintf("v%d", rng.Intn(cfg.Vars)))
+	}
+	inc := func(l []core.Value) core.Value { return last(l) + 1 }
+	readers := int(float64(cfg.Jobs)*cfg.ReadFrac + 0.5)
+	txs := make([]core.Transaction, cfg.Jobs)
+	for i := range txs {
+		steps := make([]core.Step, cfg.Steps)
+		for j := range steps {
+			if i < readers {
+				steps[j] = core.Step{Var: pickVar(), Kind: core.Read}
+			} else {
+				steps[j] = core.Step{Var: pickVar(), Kind: core.Update, Fn: inc}
+			}
+		}
+		txs[i] = core.Transaction{Steps: steps}
+	}
+	// Interleave readers and writers by index so contiguous user
+	// assignment doesn't hand all writers to one goroutine.
+	rng.Shuffle(len(txs), func(a, b int) { txs[a], txs[b] = txs[b], txs[a] })
+	return (&core.System{
+		Name: fmt.Sprintf("readmostly-%.2f-%d", cfg.ReadFrac, seed),
+		Txs:  txs,
+	}).Normalize()
+}
+
 // NodeVar names node i of the implicit binary tree used by the
 // hierarchical workload: parent(i) = (i−1)/2, root is node 0.
 func NodeVar(i int) core.Var { return core.Var(fmt.Sprintf("n%d", i)) }

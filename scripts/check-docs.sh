@@ -79,6 +79,38 @@ if ! grep -q 'E11' internal/experiments/experiments.go; then
   fail=1
 fi
 
+# The multiversion surface must stay documented: experiment E12, the mv
+# scheduler, the -readfrac flag and DESIGN.md's storage section covering
+# visibility and GC safety.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'E12' "$doc"; then
+    echo "check-docs: $doc does not document experiment E12"
+    fail=1
+  fi
+  if ! grep -qe '-readfrac' "$doc"; then
+    echo "check-docs: $doc does not document the -readfrac flag"
+    fail=1
+  fi
+  if ! grep -qE '\bmv\b' "$doc"; then
+    echo "check-docs: $doc does not document the mv scheduler"
+    fail=1
+  fi
+done
+for cmd in cmd/ccsim/main.go cmd/ccbench/main.go; do
+  if ! grep -q '"readfrac"' "$cmd"; then
+    echo "check-docs: $cmd lost its -readfrac flag"
+    fail=1
+  fi
+done
+if ! grep -q 'E12' internal/experiments/experiments.go; then
+  echo "check-docs: experiments registry lost E12"
+  fail=1
+fi
+if ! grep -q 'Multiversion storage' DESIGN.md; then
+  echo "check-docs: DESIGN.md lost its Multiversion storage section"
+  fail=1
+fi
+
 # The profiling / allocation-measurement surface must stay documented:
 # the ccbench profiling flags, the bench-diff workflow and the memory
 # discipline section that states the zero-allocation invariant.
