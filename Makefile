@@ -19,11 +19,12 @@ bench:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./...
 
 # Machine-readable benchmark snapshot: the runtime experiments (sharding,
-# batching, native TO / rail striping) rendered as JSON. Each PR that
-# touches the engine refreshes its BENCH_PR<n>.json so the repository
-# accumulates a throughput trajectory that later PRs can diff against.
+# batching, native TO / rail striping, multiversion reads, durable
+# commit) rendered as JSON. Each PR that touches the engine refreshes its
+# BENCH_PR<n>.json so the repository accumulates a throughput trajectory
+# that later PRs can diff against.
 bench-json:
-	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12 -json > BENCH_PR6.json
+	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12,E13 -json > BENCH_PR7.json
 
 # Per-experiment throughput delta between the two newest snapshots
 # (version-sorted, so PR10 follows PR9). See cmd/benchdiff.

@@ -1,7 +1,7 @@
 package optcc
 
 // One benchmark per experiment of DESIGN.md's index (theorems T1–T4,
-// figures F1–F5, measurements E1–E10), plus micro-benchmarks for the
+// figures F1–F5, measurements E1–E13), plus micro-benchmarks for the
 // substrates. Run with:
 //
 //	go test -bench=. -benchmem
@@ -112,6 +112,10 @@ func BenchmarkStorageBackendSweep(b *testing.B) {
 
 func BenchmarkBatchedDispatchSweep(b *testing.B) {
 	benchExperiment(b, experiments.E10Quick)
+}
+
+func BenchmarkDurableCommitSweep(b *testing.B) {
+	benchExperiment(b, experiments.E13Quick)
 }
 
 // --- Substrate micro-benchmarks ---
@@ -335,6 +339,38 @@ func BenchmarkKVBackendApplyStep(b *testing.B) {
 					b.Fatal(err)
 				}
 				kv.Commit(0)
+			}
+		})
+	}
+}
+
+// BenchmarkDiskBackendCommit measures the durable commit hot path per
+// fsync policy: one single-write transaction per iteration (update record
+// + commit record appended to the WAL), with the fsync cost inline for
+// always, amortized over groups of 8 for group, and absent for never.
+func BenchmarkDiskBackendCommit(b *testing.B) {
+	for _, fs := range []storage.FsyncPolicy{storage.FsyncAlways, storage.FsyncGroup, storage.FsyncNever} {
+		b.Run(fs.String(), func(b *testing.B) {
+			d, err := storage.NewDisk(storage.Config{Fsync: fs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Destroy()
+			d.Reset(core.DB{"x": 0})
+			step := core.Step{Var: "x", Kind: core.Update,
+				Fn: func(l []core.Value) core.Value { return l[len(l)-1] + 1 }}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.ApplyStep(i, step); err != nil {
+					b.Fatal(err)
+				}
+				d.Commit(i)
+				if fs == storage.FsyncGroup && i%8 == 7 {
+					if err := d.GroupSync(); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 		})
 	}

@@ -1,5 +1,5 @@
 // Command ccbench runs the paper-reproduction experiments (T1–T4 theorems,
-// F1–F5 figures, E1–E12 measurements) and prints their tables.
+// F1–F5 figures, E1–E13 measurements) and prints their tables.
 //
 // Usage:
 //
@@ -13,6 +13,7 @@
 //	ccbench -exp E10 -batch 1,16,64 -users 8   # batched-dispatch sweep
 //	ccbench -exp E11 -shards 1,4 -railstripes 8  # native-TO / rail sweep
 //	ccbench -exp E12 -readfrac 0.5,0.99 -users 16  # multiversion read sweep
+//	ccbench -exp E13 -fsync always,group -batch 1,8,32  # durable-commit sweep
 //
 // Profiling and allocation measurement (the perf workflow behind the
 // zero-allocation hot path, DESIGN.md "Memory discipline"):
@@ -34,6 +35,7 @@ import (
 
 	"optcc/internal/experiments"
 	"optcc/internal/report"
+	"optcc/internal/storage"
 )
 
 // jsonTable / jsonResult are the machine-readable rendering of an
@@ -96,6 +98,7 @@ func main() {
 		batchFlag   = flag.String("batch", "", "comma-separated batch sizes for the E10 batched-dispatch sweep (default 1,8,32)")
 		stripesFlag = flag.Int("railstripes", 0, "ordering-rail stripe count for the E11 sweep (0 = one per shard)")
 		fracFlag    = flag.String("readfrac", "", "comma-separated read fractions for the E12 multiversion sweep (default 0.5,0.9,0.99)")
+		fsyncFlag   = flag.String("fsync", "", "comma-separated fsync policies for the E13 durable-commit sweep (always|group|never; default always,group,never)")
 		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11 real-execution sweeps (kv|noop; default kv)")
 		cpuFlag     = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memFlag     = flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
@@ -145,6 +148,7 @@ func main() {
 		experiments.E10Config.Shards = sweep
 		experiments.E11Config.Shards = sweep
 		experiments.E12Config.Shards = sweep[0]
+		experiments.E13Config.Shards = sweep[0]
 	}
 	if *usersFlag != "" {
 		sweep, err := parseIntList(*usersFlag)
@@ -156,6 +160,7 @@ func main() {
 		experiments.E10Config.Users = sweep
 		experiments.E11Config.Users = sweep[0]
 		experiments.E12Config.Users = sweep[0]
+		experiments.E13Config.Users = sweep[0]
 	}
 	if *batchFlag != "" {
 		sweep, err := parseIntList(*batchFlag)
@@ -164,6 +169,7 @@ func main() {
 			os.Exit(2)
 		}
 		experiments.E10Config.Batches = sweep
+		experiments.E13Config.Batches = sweep
 	}
 	if *stripesFlag > 0 {
 		experiments.E11Config.RailStripes = *stripesFlag
@@ -175,6 +181,18 @@ func main() {
 			os.Exit(2)
 		}
 		experiments.E12Config.ReadFracs = sweep
+	}
+	if *fsyncFlag != "" {
+		var sweep []string
+		for _, part := range strings.Split(*fsyncFlag, ",") {
+			p := strings.TrimSpace(part)
+			if _, err := storage.ParseFsyncPolicy(p); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: bad -fsync: %v\n", err)
+				os.Exit(2)
+			}
+			sweep = append(sweep, p)
+		}
+		experiments.E13Config.Fsyncs = sweep
 	}
 
 	runners, order := experiments.All()

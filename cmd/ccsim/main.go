@@ -12,6 +12,8 @@
 //	ccsim -workload disjoint -sched cto -shards 4 -users 16
 //	ccsim -workload crosspairs -sched to -shards 4 -railstripes 8
 //	ccsim -workload readmostly -readfrac 0.95 -sched mv -shards 4 -backend kv
+//	ccsim -workload disjoint -sched 2pl-woundwait -shards 4 -backend disk -fsync group -batch 16
+//	ccsim -workload banking -sched 2pl-woundwait -backend disk -dir /tmp/ccwal -fsync always
 //
 // -shards 0 (default) runs the classic centralized scheduler goroutine;
 // -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
@@ -46,6 +48,16 @@
 // schedule (the check is guaranteed to pass for serial and the strict-2PL
 // family; non-strict schedulers may legitimately diverge — see
 // internal/storage).
+//
+// -backend disk executes against the durable WAL backend (append-only
+// checksummed segments in -dir, a fresh temporary directory by default,
+// removed after the run; a named -dir persists and is reported). -fsync
+// picks the durability policy: always (one fsync per commit), group (one
+// per drained commit group — pair with -batch and -shards to grow the
+// groups), never (leave flushing to the OS). Strict schedulers (serial,
+// the 2PL family) run the eager redo+undo mode; everything else runs
+// write-buffered, where uncommitted writes never reach the log — that is
+// what makes non-strict schedulers recoverable (see internal/storage).
 package main
 
 import (
@@ -176,8 +188,10 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")
 		stripes   = flag.Int("railstripes", 0, "lock stripes of the cross-shard ordering rail (0 = one per shard)")
 		batchSz   = flag.Int("batch", 1, "max requests decided per dispatch critical section; > 1 also enables group commit on the concurrent engine")
-		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv|noop)")
+		backend   = flag.String("backend", "none", "storage backend executing granted steps (none|kv|noop|disk)")
 		valueSize = flag.Int("valuesize", 256, "payload bytes per stored record (kv backend)")
+		dir       = flag.String("dir", "", "WAL directory for the disk backend (empty = fresh temp dir, removed after the run)")
+		fsync     = flag.String("fsync", "group", "fsync policy for the disk backend (always|group|never)")
 		exec      = flag.Duration("exec", 100*time.Microsecond, "extra simulated per-step execution time")
 		think     = flag.Duration("think", 0, "max per-step user think time")
 		seed      = flag.Int64("seed", 1979, "random seed")
@@ -209,15 +223,33 @@ func main() {
 		// Payload-buffer recycling is only sound under strict execution
 		// (storage.Config.Recycle), so enable it exactly for the strict
 		// scheduler family — mv's read-write transactions use unpinned
-		// chain reads, so it stays off there too.
+		// chain reads, so it stays off there too. The disk backend uses
+		// the same strictness split for its execution mode: eager
+		// redo+undo logging for strict schedulers, write-buffered for
+		// everything else (an uncommitted write must never reach the log
+		// when a non-strict scheduler may still order around it).
 		strict := *sc == "serial" || strings.HasPrefix(*sc, "2pl")
-		var err error
-		be, err = storage.New(*backend, storage.Config{Shards: s, ValueSize: *valueSize, Recycle: strict})
+		policy, err := storage.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
+			os.Exit(2)
+		}
+		be, err = storage.New(*backend, storage.Config{
+			Shards: s, ValueSize: *valueSize, Recycle: strict,
+			Dir: *dir, Fsync: policy, Buffered: !strict,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
 			os.Exit(2)
 		}
 		kv, _ = be.(*storage.KV)
+		if d, ok := be.(*storage.Disk); ok {
+			if *dir == "" {
+				defer d.Destroy()
+			} else {
+				defer d.Close()
+			}
+		}
 	}
 	inst := sim.Instantiate(template, *jobs)
 	m, err := sim.Run(sim.Config{
@@ -254,6 +286,13 @@ func main() {
 				kv.Name(), st.Reads, st.Writes, st.Rollbacks, st.BytesRead, st.BytesWritten)
 			if st.SnapshotReads > 0 || st.VersionsGCed > 0 {
 				fmt.Printf("multiversion   snapshotReads=%d versionsGCed=%d\n", st.SnapshotReads, st.VersionsGCed)
+			}
+		}
+		if d, ok := be.(storage.DurableBackend); ok {
+			fmt.Printf("durability     %s fsync=%s fsyncs=%d walKB=%.1f walTruncated=%d recovery=%v\n",
+				d.Name(), *fsync, m.Fsyncs, float64(m.WALBytes)/1024, m.WALTruncated, time.Duration(m.RecoveryNs))
+			if *dir != "" {
+				fmt.Printf("waldir         %s (log persisted after clean close)\n", *dir)
 			}
 		}
 		if m.Committed == inst.NumTxs() {

@@ -1,5 +1,5 @@
 // Package experiments drives every experiment in DESIGN.md's
-// per-experiment index (T1–T4, F1–F5, E1–E12) and renders the tables
+// per-experiment index (T1–T4, F1–F5, E1–E13) and renders the tables
 // recorded in EXPERIMENTS.md. cmd/ccbench is a thin CLI over this package;
 // the root bench_test.go wraps each experiment in a testing.B benchmark.
 package experiments
@@ -93,8 +93,9 @@ func All() (map[string]Runner, []string) {
 		"E10": E10BatchedDispatch,
 		"E11": E11NativeTimestampOrdering,
 		"E12": E12MultiversionReadScaling,
+		"E13": E13DurableCommit,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	return m, order
 }
 
@@ -1194,6 +1195,139 @@ func e12WithScale(jobs, users, shards int, readFracs []float64, maxRestarts int)
 				m.Throughput, check)
 		}
 		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// E13Config parameterizes the durable-commit experiment; cmd/ccbench
+// overrides the sweeps via its -fsync, -batch, -users and -shards flags.
+var E13Config = struct {
+	Jobs    int
+	Users   int
+	Shards  int
+	Batches []int
+	Fsyncs  []string
+}{Jobs: 128, Users: 16, Shards: 4, Batches: []int{1, 8, 32}, Fsyncs: []string{"always", "group", "never"}}
+
+// E13DurableCommit measures the durable disk backend (append-only
+// checksummed WAL segments, ARIES-style redo/undo recovery) across fsync
+// policy × batch size on the conflict-free disjoint workload, where run
+// time is dispatch + durability cost — exactly what fsync policy and group
+// commit move. Two execution modes run the sweep: natively sharded strict
+// 2PL on the eager backend (updates logged redo+undo as they execute) and
+// native timestamp ordering on the write-buffered backend (uncommitted
+// writes never reach the log, which is what makes the non-strict scheduler
+// recoverable). fsync=always syncs inside every commit; fsync=group defers
+// to the group-commit pipeline, one fsync per drained lane group —
+// batching grows the groups, so the fsync count collapses; fsync=never
+// leaves flushing to the OS (crash may lose commits, never tear them).
+//
+// Self-checks per cell: everything commits; the live backend state equals
+// core.Exec of the committed schedule; and — the durability core — after
+// Close the store is reopened with OpenDisk and the recovered state must
+// equal that same replay with a clean (untruncated) log. A cell whose
+// recovery diverges fails the experiment.
+func E13DurableCommit() (*Result, error) {
+	return e13WithScale(E13Config.Jobs, E13Config.Users, E13Config.Shards, E13Config.Batches, E13Config.Fsyncs)
+}
+
+// E13Quick is a smaller variant for tests.
+func E13Quick() (*Result, error) {
+	return e13WithScale(12, 4, 2, []int{1, 8}, []string{"always", "group"})
+}
+
+func e13WithScale(jobs, users, shards int, batches []int, fsyncs []string) (*Result, error) {
+	res := &Result{
+		ID:    "E13",
+		Title: "Durable commit — fsync policy × batch size on the WAL disk backend (eager 2PL and write-buffered cto)",
+		Text: "Disjoint workload (zero conflicts): run time is dispatch + durability cost. " +
+			"fsync=always pays one fsync per commit; fsync=group pays one per drained commit " +
+			"group (batching grows the groups); fsync=never defers to the OS. Self-check per " +
+			"cell: live state == committed replay == state recovered by OpenDisk after Close, " +
+			"with a clean log tail.",
+	}
+	template := workload.Disjoint(jobs, 3)
+	modes := []struct {
+		name     string
+		buffered bool
+		mk       func() online.Scheduler
+	}{
+		{"2pl-sharded eager", false, func() online.Scheduler { return online.NewConcurrentStrict2PL(lockmgr.WoundWait, shards) }},
+		{"cto write-buffered", true, func() online.Scheduler { return online.NewConcurrentTO(shards) }},
+	}
+	for _, mode := range modes {
+		t := report.NewTable(fmt.Sprintf("%s, %d jobs, %d users, %d shards", mode.name, jobs, users, shards),
+			"fsync", "batch", "committed", "fsyncs", "wal-KB", "group-size", "throughput-tx/s", "self-check")
+		// throughput[fsync][batch], for the group-vs-always amortization
+		// summary appended to the text.
+		tp := map[string]map[int]float64{}
+		for _, fs := range fsyncs {
+			policy, err := storage.ParseFsyncPolicy(fs)
+			if err != nil {
+				return nil, fmt.Errorf("E13: %w", err)
+			}
+			tp[fs] = map[int]float64{}
+			for _, batch := range batches {
+				be, err := storage.NewDisk(storage.Config{Fsync: policy, Buffered: mode.buffered})
+				if err != nil {
+					return nil, fmt.Errorf("E13: %w", err)
+				}
+				inst := sim.Instantiate(template, jobs)
+				m, err := sim.Run(sim.Config{
+					System: inst, Sched: mode.mk(), Backend: be,
+					Users: users, Seed: 1979, Batch: batch,
+				})
+				if err != nil {
+					be.Destroy()
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d: %w", mode.name, fs, batch, err)
+				}
+				if m.Committed != jobs {
+					be.Destroy()
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d committed %d of %d", mode.name, fs, batch, m.Committed, jobs)
+				}
+				replay, err := core.Exec(inst, m.Output, inst.InitialStates()[0])
+				if err != nil {
+					be.Destroy()
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d replay: %w", mode.name, fs, batch, err)
+				}
+				if !be.State().Equal(replay) {
+					be.Destroy()
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d live state diverged from committed replay", mode.name, fs, batch)
+				}
+				dir := be.Dir()
+				if err := be.Close(); err != nil {
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d close: %w", mode.name, fs, batch, err)
+				}
+				r, err := storage.OpenDisk(storage.Config{Dir: dir})
+				if err != nil {
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d recovery: %w", mode.name, fs, batch, err)
+				}
+				recovered := r.State()
+				truncated := r.DurabilityStats().WALTruncated
+				r.Destroy()
+				if !recovered.Equal(replay) {
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d recovered state diverged from committed replay", mode.name, fs, batch)
+				}
+				if truncated != 0 {
+					return nil, fmt.Errorf("E13: %s fsync=%s batch=%d clean shutdown recovered a truncated log", mode.name, fs, batch)
+				}
+				tp[fs][batch] = m.Throughput
+				t.AddRow(fs, batch, m.Committed, m.Fsyncs, float64(m.WALBytes)/1024,
+					m.GroupSize(), m.Throughput, "recovered==replay")
+			}
+		}
+		res.Tables = append(res.Tables, t)
+		// The amortization headline: grouped fsync vs per-commit fsync at
+		// each batch size that actually batches.
+		for _, batch := range batches {
+			if batch < 8 {
+				continue
+			}
+			if always, group := tp["always"][batch], tp["group"][batch]; always > 0 && group > 0 {
+				res.Text += fmt.Sprintf("\n%s batch %d: fsync=group throughput %.1fx fsync=always.",
+					mode.name, batch, group/always)
+			}
+		}
 	}
 	return res, nil
 }

@@ -14,7 +14,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
 	}
 	for _, id := range order {
-		if id == "E4" || id == "E8" || id == "E9" || id == "E11" || id == "E12" {
+		if id == "E4" || id == "E8" || id == "E9" || id == "E11" || id == "E12" || id == "E13" {
 			continue // covered by the TestE*Quick variants to keep the suite fast
 		}
 		r, err := m[id]()
@@ -136,6 +136,30 @@ func TestE12Quick(t *testing.T) {
 	}
 }
 
+func TestE13Quick(t *testing.T) {
+	r, err := E13Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One table per execution mode (eager 2PL, write-buffered cto); the
+	// runner itself asserts the per-cell durability self-check: live state
+	// == committed replay == state recovered by OpenDisk after Close.
+	if len(r.Tables) != 2 {
+		t.Errorf("E13 quick tables = %d", len(r.Tables))
+	}
+	for _, tbl := range r.Tables {
+		s := tbl.String()
+		for _, want := range []string{"always", "group", "recovered==replay"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("E13 table missing %q rows:\n%s", want, s)
+			}
+		}
+	}
+	if !strings.Contains(r.Text, "fsync=group throughput") {
+		t.Errorf("E13 text missing amortization summary:\n%s", r.Text)
+	}
+}
+
 func TestNewBackendUnknown(t *testing.T) {
 	if _, err := NewBackend("bogus", 1, 0); err == nil {
 		t.Error("unknown backend accepted")
@@ -144,7 +168,7 @@ func TestNewBackendUnknown(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

@@ -43,6 +43,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -465,11 +466,19 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		kickAll()
 	}
 
+	// loopWG joins the dispatch loops and the deadlock breaker on shutdown:
+	// Run must not return while machinery goroutines from this run are
+	// still winding down, or they bleed CPU into whatever the caller does
+	// next (back-to-back runs in one process, e.g. an experiment sweep).
+	var loopWG sync.WaitGroup
+
 	// Deadlock breaker: eager triggers from the shard loops plus a ticker
 	// backstop for triggers lost to races. The tick also re-kicks shards
 	// with parked requests — a watchdog against wake-ups starved by the Go
 	// scheduler on oversubscribed machines.
+	loopWG.Add(1)
 	go func() {
+		defer loopWG.Done()
 		ticker := time.NewTicker(250 * time.Microsecond)
 		defer ticker.Stop()
 		for {
@@ -493,7 +502,9 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	// decided in one critical section, instead of one select iteration —
 	// one channel hop, one retry scan, one deadlock precheck — per request.
 	for i := range shards {
+		loopWG.Add(1)
 		go func(ss *shardState) {
+			defer loopWG.Done()
 			sizer := newBatchSizer(batch)
 			intake := make([]request, 0, batch)
 			for {
@@ -574,6 +585,14 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 		}
 		kickAll()
 		committingCount.Add(-int64(len(txs)))
+	})
+	// Durable backends sync once per drained group (storage.GroupSyncer —
+	// the fsync coalescing group commit exists for). A failed sync fails
+	// the whole group, leader and followers alike: record it as the run
+	// error; the release callback above still runs so locks free and the
+	// run drains instead of wedging.
+	gc.OnFail(func(txs []int, err error) {
+		errs.set(fmt.Errorf("sim: durable group commit of %d txs: %w", len(txs), err))
 	})
 
 	// User goroutines: one terminal per user, jobs assigned round-robin;
@@ -712,8 +731,12 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	groups, txs := gc.Stats()
 	m.CommitGroups, m.GroupCommits = int(groups), int(txs)
 	close(done)
+	loopWG.Wait()
 	m.Elapsed = time.Since(start)
 	if err := errs.get(); err != nil {
+		return nil, err
+	}
+	if err := durableErr(cfg.Backend); err != nil {
 		return nil, err
 	}
 
@@ -732,5 +755,6 @@ func runSharded(cfg Config, cs online.ConcurrentScheduler, sys *core.System, use
 	}
 	fillAllocStats(m, &am)
 	fillSnapshotStats(m, cfg.Backend)
+	fillDurableStats(m, cfg.Backend)
 	return m, nil
 }

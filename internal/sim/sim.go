@@ -144,6 +144,15 @@ type Metrics struct {
 	// collector unlinked during the run (zero for backends without version
 	// chains).
 	VersionGCed int64
+	// Fsyncs, WALBytes, WALTruncated and RecoveryNs are the durable
+	// backend's counters (storage.DurableBackend): log syncs, log bytes
+	// appended, torn tails discarded by recovery, and the wall time of the
+	// recovery that produced the backend. All zero for memory-only
+	// backends.
+	Fsyncs       int64
+	WALBytes     int64
+	WALTruncated int64
+	RecoveryNs   int64
 	// Output is the granted-step log projected to committed transactions'
 	// final attempts, in grant order: a legal prefix (whole transactions
 	// only) of the instance system, and a complete legal schedule when every
@@ -590,6 +599,16 @@ func Run(cfg Config) (*Metrics, error) {
 						if v.lastGranted {
 							if cfg.Backend != nil {
 								cfg.Backend.Commit(tx)
+								// Durable commit path: the centralized runtime
+								// has no commit pipeline, so each commit is its
+								// own group of one — sync it now. A failed sync
+								// is lost durability; surface it as the run
+								// error.
+								if gs, ok := cfg.Backend.(storage.GroupSyncer); ok {
+									if err := gs.GroupSync(); err != nil {
+										errs.set(fmt.Errorf("sim: durable commit of tx %d: %w", tx, err))
+									}
+								}
 							}
 							commitCh <- tx
 						}
@@ -624,6 +643,9 @@ func Run(cfg Config) (*Metrics, error) {
 	if err := errs.get(); err != nil {
 		return nil, err
 	}
+	if err := durableErr(cfg.Backend); err != nil {
+		return nil, err
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -638,6 +660,7 @@ func Run(cfg Config) (*Metrics, error) {
 	m.Output = projectFinal(output, committed)
 	fillAllocStats(m, &am)
 	fillSnapshotStats(m, cfg.Backend)
+	fillDurableStats(m, cfg.Backend)
 	return m, nil
 }
 
@@ -648,6 +671,30 @@ func fillSnapshotStats(m *Metrics, be storage.Backend) {
 		m.SnapshotReads = sb.SnapshotReads()
 		m.VersionGCed = sb.VersionsGCed()
 	}
+}
+
+// fillDurableStats copies the durable backend's counters into the metrics.
+func fillDurableStats(m *Metrics, be storage.Backend) {
+	if db, ok := be.(storage.DurableBackend); ok {
+		ds := db.DurabilityStats()
+		m.Fsyncs = ds.Fsyncs
+		m.WALBytes = ds.WALBytes
+		m.WALTruncated = ds.WALTruncated
+		m.RecoveryNs = ds.RecoveryNs
+	}
+}
+
+// durableErr surfaces a durable backend's sticky error as the run error:
+// a failed append or sync means some "committed" transaction may not be on
+// stable storage, and a run that silently succeeded anyway would be the
+// exact durability lie the torture tests exist to rule out.
+func durableErr(be storage.Backend) error {
+	if db, ok := be.(storage.DurableBackend); ok {
+		if err := db.Err(); err != nil {
+			return fmt.Errorf("sim: durable backend: %w", err)
+		}
+	}
+	return nil
 }
 
 // presizeMetrics reserves the histograms' expected steady-state sample

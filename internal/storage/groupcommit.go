@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -27,11 +28,18 @@ import (
 // nothing else may act for it concurrently).
 type GroupCommitter struct {
 	be      Backend
+	syncer  GroupSyncer // non-nil iff be implements GroupSyncer
+	yield   bool        // yield before sealing a group (amortizable syncs)
 	release func(txs []int)
+	onFail  func(txs []int, err error)
 	lanes   []*commitLane
 
 	groups atomic.Int64 // groups processed
 	txs    atomic.Int64 // transactions committed through the pipeline
+	failed atomic.Int64 // transactions in groups whose GroupSync failed
+
+	errMu sync.Mutex
+	err   error // first GroupSync failure
 }
 
 // commitLane is one pipeline partition: a queue plus the driver flag of the
@@ -55,6 +63,15 @@ func NewGroupCommitter(be Backend, lanes int, release func(txs []int)) *GroupCom
 		lanes = 1
 	}
 	g := &GroupCommitter{be: be, release: release}
+	if s, ok := be.(GroupSyncer); ok {
+		g.syncer = s
+		// Only yield for it when the backend says its syncs actually
+		// amortize across a group (a backend without the hint is assumed
+		// amortizable — that is what a GroupSyncer is for).
+		if c, ok := be.(interface{ SyncCoalesces() bool }); !ok || c.SyncCoalesces() {
+			g.yield = true
+		}
+	}
 	for i := 0; i < lanes; i++ {
 		g.lanes = append(g.lanes, &commitLane{})
 	}
@@ -63,6 +80,27 @@ func NewGroupCommitter(be Backend, lanes int, release func(txs []int)) *GroupCom
 
 // Lanes returns the pipeline's lane count.
 func (g *GroupCommitter) Lanes() int { return len(g.lanes) }
+
+// OnFail registers the durability-failure callback: when the backend's
+// GroupSync errors after a group was committed, fn receives every
+// transaction of that group together with the error, before the release
+// callback runs. Durability loss is all-or-nothing per group — the fsync
+// that failed covered the leader and every follower alike, so no member
+// may be reported durable (this replaces drain's former silent-success
+// assumption). Must be set before the first Enqueue.
+func (g *GroupCommitter) OnFail(fn func(txs []int, err error)) { g.onFail = fn }
+
+// Err returns the first GroupSync failure, if any — the no-callback way
+// to check a drained pipeline for silent durability loss.
+func (g *GroupCommitter) Err() error {
+	g.errMu.Lock()
+	defer g.errMu.Unlock()
+	return g.err
+}
+
+// Failed returns the number of transactions in groups whose GroupSync
+// failed.
+func (g *GroupCommitter) Failed() int64 { return g.failed.Load() }
 
 // Enqueue submits tx for commit. If tx's lane has no driver, the caller
 // becomes it and processes the accumulated group (possibly including other
@@ -105,6 +143,16 @@ func (g *GroupCommitter) drive(l *commitLane) {
 // the next spare), so a warm lane commits whole groups without allocating.
 func (g *GroupCommitter) drain(l *commitLane) {
 	for {
+		// When the group sync is the cost being amortized, give runnable
+		// peers one scheduling turn to reach Enqueue before the group is
+		// sealed. Without this the grouping depends on the Go runtime
+		// handing the P to other goroutines *during* the driver's fsync
+		// syscall — which it does promptly on a busy multicore box but may
+		// not do at all on a single-CPU one (sysmon's retake interval can
+		// exceed the whole fsync), collapsing every group to size 1.
+		if g.yield {
+			runtime.Gosched()
+		}
 		l.mu.Lock()
 		group := l.queue
 		l.queue = l.free[:0]
@@ -121,6 +169,26 @@ func (g *GroupCommitter) drain(l *commitLane) {
 				g.be.Commit(tx)
 			}
 		}
+		// Durable backends get exactly one fsync per group, here — the
+		// whole point of coalescing commits into lanes. A failure is a
+		// failure of every member: the group's commit records share the
+		// sync, so none of them is durable, and OnFail reports them all.
+		if g.syncer != nil {
+			if err := g.syncer.GroupSync(); err != nil {
+				g.errMu.Lock()
+				if g.err == nil {
+					g.err = err
+				}
+				g.errMu.Unlock()
+				g.failed.Add(int64(len(group)))
+				if g.onFail != nil {
+					g.onFail(group, err)
+				}
+			}
+		}
+		// Release always runs, even for a failed group: the runtime must
+		// still free scheduler locks and unpark users — the failure is
+		// surfaced through OnFail/Err, not by wedging the pipeline.
 		if g.release != nil {
 			g.release(group)
 		}

@@ -112,6 +112,28 @@ type Config struct {
 	// falls back to the transactional path when it has more users than
 	// slots.
 	SnapshotSlots int
+
+	// The fields below configure the durable disk backend (disk.go) and
+	// are ignored by the in-memory KV.
+
+	// Dir is the disk backend's directory of log segments ("" = a fresh
+	// temporary directory).
+	Dir string
+	// Fsync is when the disk backend forces its log to stable storage
+	// (default FsyncGroup: one fsync per group-commit drain).
+	Fsync FsyncPolicy
+	// Buffered selects write-buffered execution: uncommitted writes stay
+	// in a per-transaction buffer and reach the log only inside the
+	// commit record, which is what makes non-strict schedulers
+	// recoverable. Leave false for strict schedulers (eager writes with
+	// undo logging).
+	Buffered bool
+	// SegmentBytes seals the active log segment past this size
+	// (0 = 1 MiB).
+	SegmentBytes int
+	// FS is the filesystem the disk backend writes through (nil = the
+	// real one). Tests inject faults by supplying an ErrFS.
+	FS FS
 }
 
 // defaultSnapshotSlots is the snapshot pin capacity when Config leaves it 0:

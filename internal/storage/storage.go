@@ -32,8 +32,18 @@
 // (SGT-style aborting, OCC, TO) may execute dirty reads whose transaction
 // later rolls back; running them against a Backend is safe (no corruption,
 // no races) but the final state may legitimately differ from the committed
-// replay. Making them recoverable needs deferred write buffers — a ROADMAP
-// item, not undo logging.
+// replay. The disk backend's write-buffered mode (Config.Buffered) is the
+// deferred-write answer: uncommitted writes never leave the transaction's
+// buffer, so non-strict schedulers become recoverable rather than
+// best-effort.
+//
+// # Durability
+//
+// The durable disk backend (disk.go) is a log-structured store: append-only
+// segment files of checksummed records (wal.go), recovered by redo/undo
+// replay (recovery.go), with fsyncs coalesced through the GroupCommitter
+// (GroupSync). The fault-injection surface lives in fs.go (ErrFS). See
+// DESIGN.md "Durability".
 package storage
 
 import (
@@ -114,16 +124,20 @@ type SnapshotBackend interface {
 
 // New builds a backend by name with the given configuration. It is the one
 // backend registry — cmd/ccsim and internal/experiments both resolve names
-// through it, so a new backend (e.g. a disk store) registers here once.
-// Known names: "kv" (the sharded in-memory store) and "noop" (the
-// do-nothing backend for measuring pure runtime overhead — see Noop).
+// through it, so a new backend registers here once. Known names: "kv" (the
+// sharded in-memory store), "noop" (the do-nothing backend for measuring
+// pure runtime overhead — see Noop) and "disk" (the durable log-structured
+// store — see Disk; recovery of an existing directory goes through
+// OpenDisk instead).
 func New(name string, cfg Config) (Backend, error) {
 	switch name {
 	case "kv":
 		return NewKV(cfg), nil
 	case "noop":
 		return NewNoop(), nil
+	case "disk":
+		return NewDisk(cfg)
 	default:
-		return nil, fmt.Errorf("storage: unknown backend %q (known: kv, noop)", name)
+		return nil, fmt.Errorf("storage: unknown backend %q (known: kv, noop, disk)", name)
 	}
 }

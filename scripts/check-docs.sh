@@ -111,6 +111,42 @@ if ! grep -q 'Multiversion storage' DESIGN.md; then
   fail=1
 fi
 
+# The durability surface must stay documented: experiment E13, the disk
+# backend, the -fsync flag and DESIGN.md's Durability section covering the
+# log format, recovery and the fault-injection catalogue.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'E13' "$doc"; then
+    echo "check-docs: $doc does not document experiment E13"
+    fail=1
+  fi
+  if ! grep -qe '-fsync' "$doc"; then
+    echo "check-docs: $doc does not document the -fsync flag"
+    fail=1
+  fi
+  if ! grep -qE '\bdisk\b' "$doc"; then
+    echo "check-docs: $doc does not document the disk backend"
+    fail=1
+  fi
+done
+for cmd in cmd/ccsim/main.go cmd/ccbench/main.go; do
+  if ! grep -q '"fsync"' "$cmd"; then
+    echo "check-docs: $cmd lost its -fsync flag"
+    fail=1
+  fi
+done
+if ! grep -q 'E13' internal/experiments/experiments.go; then
+  echo "check-docs: experiments registry lost E13"
+  fail=1
+fi
+if ! grep -q 'disk' internal/storage/storage.go; then
+  echo "check-docs: storage registry lost the disk backend"
+  fail=1
+fi
+if ! grep -q 'Durability' DESIGN.md; then
+  echo "check-docs: DESIGN.md lost its Durability section"
+  fail=1
+fi
+
 # The profiling / allocation-measurement surface must stay documented:
 # the ccbench profiling flags, the bench-diff workflow and the memory
 # discipline section that states the zero-allocation invariant.
