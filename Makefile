@@ -3,7 +3,20 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-diff check-docs ci
+# PR numbers the bench-json snapshot; bump it (or pass PR=<n>) so each PR
+# that touches the engine writes its own BENCH_PR<n>.json.
+PR ?= 8
+
+# The extended vet set: standalone `go vet` runs its full analyzer
+# registry (atomic, copylocks, loopclosure, lostcancel, unsafeptr,
+# unreachable, unusedresult, ...), a strict superset of the small
+# high-confidence subset `go test` applies automatically. Passing -NAME
+# flags would RESTRICT vet to only those analyzers, so VETFLAGS stays
+# empty by default; use it to disable a pass (-NAME=false) if one ever
+# misfires.
+VETFLAGS :=
+
+.PHONY: build test race bench bench-json bench-diff check-docs lint ci
 
 build:
 	$(GO) build ./...
@@ -24,7 +37,7 @@ bench:
 # BENCH_PR<n>.json so the repository accumulates a throughput trajectory
 # that later PRs can diff against.
 bench-json:
-	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12,E13 -json > BENCH_PR7.json
+	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12,E13 -json > BENCH_PR$(PR).json
 
 # Per-experiment throughput delta between the two newest snapshots
 # (version-sorted, so PR10 follows PR9). See cmd/benchdiff.
@@ -34,4 +47,20 @@ bench-diff:
 check-docs:
 	./scripts/check-docs.sh
 
-ci: check-docs build race bench
+# Static analysis: gofmt, the extended vet set, and cclint — the
+# project-specific analyzer suite (lock hierarchy, zero-alloc hot path,
+# buffer recycling, atomics discipline, goroutine joins; see DESIGN.md
+# "Static analysis"). staticcheck runs when installed (CI installs a pinned
+# version; locally `go install honnef.co/go/tools/cmd/staticcheck@2025.1.1`).
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet $(VETFLAGS) ./...
+	$(GO) run ./cmd/cclint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+
+ci: check-docs lint build race bench

@@ -1,0 +1,92 @@
+// Command cclint is the project's multichecker: it runs the analyzer suite
+// from internal/lint over the module and reports every finding not covered
+// by a //cclint:ignore directive. It is wired into `make lint` and the CI
+// lint job; the exit status is 1 when there are findings, 2 when the load
+// or an analyzer itself fails, 0 on a clean run.
+//
+// Usage:
+//
+//	cclint [-only name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. -only
+// restricts the run to a comma-separated subset of analyzers; -list prints
+// the suite with one-line docs and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"optcc/internal/lint"
+	"optcc/internal/lint/analysis"
+	"optcc/internal/lint/loader"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cclint [-only name,name] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Analyzers()
+	if *list {
+		for _, a := range suite {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	selected := suite
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cclint: unknown analyzer %q (run cclint -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cclint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cclint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -18,10 +18,14 @@ import (
 )
 
 // Writes reports whether a step of the given kind writes its variable.
+//
+//optcc:hotpath
 func Writes(k core.StepKind) bool { return k == core.Update || k == core.Write }
 
 // Reads reports whether a step of the given kind reads its variable (in
 // the sense of using the value: Write steps ignore what they read).
+//
+//optcc:hotpath
 func Reads(k core.StepKind) bool { return k == core.Update || k == core.Read }
 
 // Conflicts reports whether two steps of different transactions conflict:

@@ -211,6 +211,8 @@ func (s *System) StepCount() int {
 }
 
 // Step returns the step named by id.
+//
+//optcc:hotpath
 func (s *System) Step(id StepID) Step { return s.Txs[id.Tx].Steps[id.Idx] }
 
 // Vars returns the sorted set of global variable names used by the system.

@@ -1,0 +1,98 @@
+// Package analysis is a minimal, API-compatible core of
+// golang.org/x/tools/go/analysis: just Analyzer, Pass and Diagnostic, built
+// on the standard library alone. The repository vendors no third-party
+// modules (builds must work offline), so the cclint analyzers are written
+// against this local core; the field and callback names match x/tools, so
+// swapping the import path is all it would take to run them under the
+// upstream multichecker.
+//
+// Two deliberate simplifications versus upstream:
+//
+//   - No Facts. Cross-package state (hotpath annotations, atomically
+//     accessed fields, lock summaries) lives in a Shared index the driver
+//     builds in one prepass over every loaded package before any analyzer
+//     runs. The repo is one module compiled in one process, so an explicit
+//     whole-program index is both simpler and strictly more precise than
+//     per-package fact serialization.
+//   - No ResultOf/Requires. The five analyzers are independent.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named analysis and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only selections and
+	// //lint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description printed by cclint -list.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report; the error return is for analysis failures, not findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to an analyzer, plus the
+// module-wide Shared index.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Shared is the whole-program index built by the driver before any
+	// analyzer ran. It is read-only during Run.
+	Shared *Shared
+	// Report delivers one diagnostic. The driver applies //lint:ignore
+	// filtering and sorting; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Shared is the whole-program index: everything an analyzer needs to know
+// about packages other than the one it is currently visiting. The driver
+// (internal/lint.Run) and the test harness (internal/lint/linttest) build it
+// with lint.BuildShared over every loaded package, so analyzers see the same
+// cross-package state in production and under test.
+type Shared struct {
+	// HotpathFuncs holds the *types.Func (or local *types.Var bound to a
+	// function literal) of every declaration annotated //optcc:hotpath,
+	// including methods declared on interfaces.
+	HotpathFuncs map[types.Object]bool
+	// AtomicFields maps a struct field to true when any package accesses it
+	// through a function-style sync/atomic call (atomic.LoadInt64(&x.f),
+	// atomic.AddUint32(&x.f, 1), ...). atomiconly flags every plain access
+	// to such a field.
+	AtomicFields map[*types.Var]bool
+	// LockSummary maps a function object to the set of lock-class ids it
+	// may acquire, transitively over statically resolved calls. lockorder
+	// uses it to catch a forbidden acquisition hidden behind a helper call.
+	LockSummary map[types.Object]map[string]bool
+	// ReleaseFuncs holds functions annotated //optcc:release: calling one
+	// returns its pointer/slice arguments to a pool or freelist, after
+	// which the recycle analyzer treats every retained alias as dead.
+	ReleaseFuncs map[types.Object]bool
+}
+
+// NewShared returns an empty index.
+func NewShared() *Shared {
+	return &Shared{
+		HotpathFuncs: map[types.Object]bool{},
+		AtomicFields: map[*types.Var]bool{},
+		LockSummary:  map[types.Object]map[string]bool{},
+		ReleaseFuncs: map[types.Object]bool{},
+	}
+}

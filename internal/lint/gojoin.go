@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"optcc/internal/lint/analysis"
+)
+
+// Gojoin enforces goroutine join discipline in the simulator: every `go`
+// statement in a package named sim must be trackable to completion from its
+// spawn site — the spawned body signals through a sync.WaitGroup.Done or by
+// sending on / closing a channel declared outside the body. An untracked
+// goroutine outlives Run's return and mutates Metrics/History while the
+// caller reads them — exactly the class of bug the PR 7 sharded-loop fix
+// (loopWG) closed, now kept closed mechanically.
+//
+// Accepted evidence inside the spawned body (or the body of a same-package
+// named function the go statement calls):
+//
+//   - wg.Done() or defer wg.Done() on a sync.WaitGroup
+//   - close(ch) or ch <- v where ch is an identifier bound outside the
+//     spawned body (a reply channel owned by the spawner)
+//
+// Sends on channels reached through struct fields (r.reply <- v) do NOT
+// count: the spawner cannot wait on a channel it cannot name, so such a
+// goroutine is still unjoined from the spawn site's point of view.
+var Gojoin = &analysis.Analyzer{
+	Name: "gojoin",
+	Doc:  "require every go statement in internal/sim to be joined via WaitGroup or channel",
+	Run:  runGojoin,
+}
+
+func runGojoin(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "sim" {
+		return nil
+	}
+	// Index same-package function declarations so `go name(...)` can be
+	// resolved to a body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+					if fd := decls[obj]; fd != nil {
+						body = fd.Body
+					}
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+					if fd := decls[sel.Obj()]; fd != nil {
+						body = fd.Body
+					}
+				}
+			}
+			if body == nil {
+				pass.Reportf(g.Pos(), "go statement spawns an unresolvable callee; cannot verify it is joined (use a func literal with wg.Done or a local channel signal)")
+				return true
+			}
+			if !goroutineSignalsCompletion(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine is not joined: body neither calls a sync.WaitGroup Done nor signals a channel declared at the spawn site")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineSignalsCompletion reports whether the spawned body contains join
+// evidence as documented on the analyzer.
+func goroutineSignalsCompletion(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested goroutine's signals are its own
+		case *ast.CallExpr:
+			switch fun := unparen(n.Fun).(type) {
+			case *ast.SelectorExpr:
+				// wg.Done() on a sync.WaitGroup.
+				if fun.Sel.Name == "Done" {
+					if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+						found = true
+					}
+				}
+			case *ast.Ident:
+				// close(ch) with ch an outside identifier.
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					if identDeclaredOutside(pass, n.Args[0], body) {
+						found = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if identDeclaredOutside(pass, n.Chan, body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// identDeclaredOutside reports whether e is a plain identifier whose
+// declaration lies outside the spawned body — a channel the spawner can
+// also name and therefore wait on. Selector expressions (r.reply) fail this
+// test by design.
+func identDeclaredOutside(pass *analysis.Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}

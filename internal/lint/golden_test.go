@@ -1,0 +1,103 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"optcc/internal/lint"
+	"optcc/internal/lint/analysis"
+	"optcc/internal/lint/linttest"
+	"optcc/internal/lint/loader"
+)
+
+// fixture returns the path of one golden-fixture package.
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// Each analyzer has a positive fixture (every want comment must be matched
+// by a diagnostic, and vice versa) and a negative fixture (the same shapes
+// written correctly; zero diagnostics).
+
+func TestLockOrderGolden(t *testing.T) {
+	linttest.Run(t, fixture("lockorder"), lint.LockOrder)
+}
+
+func TestLockOrderClean(t *testing.T) {
+	linttest.RunExpectClean(t, fixture("lockorder_clean"), lint.LockOrder)
+}
+
+func TestHotpathGolden(t *testing.T) {
+	linttest.Run(t, fixture("hotpath"), lint.Hotpath)
+}
+
+func TestHotpathClean(t *testing.T) {
+	linttest.RunExpectClean(t, fixture("hotpath_clean"), lint.Hotpath)
+}
+
+func TestRecycleGolden(t *testing.T) {
+	linttest.Run(t, fixture("recycle"), lint.Recycle)
+}
+
+func TestRecycleClean(t *testing.T) {
+	linttest.RunExpectClean(t, fixture("recycle_clean"), lint.Recycle)
+}
+
+func TestAtomiconlyGolden(t *testing.T) {
+	linttest.Run(t, fixture("atomiconly"), lint.Atomiconly)
+}
+
+func TestAtomiconlyClean(t *testing.T) {
+	linttest.RunExpectClean(t, fixture("atomiconly_clean"), lint.Atomiconly)
+}
+
+func TestGojoinGolden(t *testing.T) {
+	linttest.Run(t, fixture("gojoin"), lint.Gojoin)
+}
+
+func TestGojoinClean(t *testing.T) {
+	linttest.RunExpectClean(t, fixture("gojoin_clean"), lint.Gojoin)
+}
+
+// TestSuiteComplete pins the analyzer roster: adding an analyzer without
+// fixtures (or dropping one) should be a conscious act.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"atomiconly", "gojoin", "hotpath", "lockorder", "recycle"}
+	got := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		got[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("suite is missing analyzer %s", name)
+		}
+	}
+	if len(lint.Analyzers()) != len(want) {
+		t.Errorf("suite has %d analyzers, want %d", len(lint.Analyzers()), len(want))
+	}
+}
+
+// TestMalformedIgnoreIsAFinding pins the directive contract: an ignore
+// without a justification is itself reported.
+func TestMalformedIgnoreIsAFinding(t *testing.T) {
+	pkgs, err := loader.Load(fixture("badignore"), ".")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{lint.Hotpath})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	foundMalformed := false
+	for _, f := range findings {
+		if f.Analyzer == "ignore" {
+			foundMalformed = true
+		}
+	}
+	if !foundMalformed {
+		t.Errorf("malformed ignore directive was not reported; findings: %v", findings)
+	}
+}

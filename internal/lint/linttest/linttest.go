@@ -1,0 +1,134 @@
+// Package linttest is the golden-test harness for the cclint analyzers,
+// modeled on golang.org/x/tools/go/analysis/analysistest: a fixture is a
+// compilable package under internal/lint/testdata/src/<name>/, and every
+// line that should produce a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment whose pattern must match the diagnostic message. Run loads the
+// fixture with the real loader, executes one analyzer through the real
+// driver core (shared-index prepass, ignore filtering, sorting — exactly
+// the production path), and fails the test on any mismatch in either
+// direction. A fixture with no want comments is a negative test: the
+// analyzer must stay silent on it.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"optcc/internal/lint"
+	"optcc/internal/lint/analysis"
+	"optcc/internal/lint/loader"
+)
+
+// wantRe extracts the expectation pattern from a `// want "..."` comment.
+// Backquoted patterns are accepted too, so fixtures can expect quotes.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run executes one analyzer over the fixture directory and compares its
+// findings against the fixture's want comments.
+func Run(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := loader.Load(fixtureDir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	wants := collectWants(t, pkgs)
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic:\n  %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic: %s:%d: no finding matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants reads every want comment from the fixture's root packages.
+func collectWants(t *testing.T, pkgs []*loader.Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, p := range pkgs {
+		if !p.Root {
+			continue
+		}
+		for _, f := range p.Syntax {
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "\"") {
+							t.Fatalf("%s: unparseable want comment: %s", p.Fset.Position(c.Pos()), c.Text)
+						}
+						continue
+					}
+					pat := m[2]
+					if m[3] != "" {
+						pat = m[3]
+					} else {
+						// The pattern was written inside a Go string in a
+						// comment; unquote the common escapes.
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+						pat = strings.ReplaceAll(pat, `\\`, `\`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p.Fset.Position(c.Pos()), pat, err)
+					}
+					pos := p.Fset.Position(c.Pos())
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// RunExpectClean asserts the analyzer produces zero diagnostics on the
+// fixture and that the fixture really contains no want comments (guarding
+// against a typo silently turning a positive fixture into a vacuous pass).
+func RunExpectClean(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := loader.Load(fixtureDir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	if wants := collectWants(t, pkgs); len(wants) != 0 {
+		t.Fatalf("negative fixture %s contains %d want comments; use Run for positive fixtures", fixtureDir, len(wants))
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+	for _, f := range findings {
+		t.Errorf("negative fixture produced a diagnostic:\n  %s", f)
+	}
+}

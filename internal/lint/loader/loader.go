@@ -1,0 +1,287 @@
+// Package loader turns package patterns into parsed, type-checked packages
+// using nothing but the standard library and the go command. It is the
+// offline stand-in for golang.org/x/tools/go/packages: `go list -export
+// -deps -json` supplies the file lists and compiled export data (the go
+// command compiles anything stale, entirely from the local build cache, so
+// no network is ever touched), module packages are re-type-checked from
+// source so analyzers get syntax trees with comments, and standard-library
+// imports are satisfied from their export data via go/importer's lookup
+// mode.
+//
+// Type identity is preserved across the whole load: every module package is
+// checked against the *types.Package of its module dependencies from the
+// same load, so a *types.Func seen in package A's syntax is the same object
+// a call in package B resolves to. The whole-program indexes in
+// internal/lint/analysis.Shared depend on exactly this property.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Root marks packages the load patterns matched directly; the rest are
+	// module dependencies, loaded so whole-program indexes and type
+	// identity stay complete. Analyzers run on roots only.
+	Root bool
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir (the module root, or any directory inside
+// it — including testdata fixture directories, which the go command lists
+// fine when named explicitly) and returns every non-standard-library package
+// reachable from the patterns, type-checked from source, in dependency
+// order. Packages the patterns matched directly have Root set; the rest are
+// module dependencies included for whole-program indexing.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, roots, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for the gc importer's lookup: standard-library packages
+	// (and any module package we end up not source-checking) resolve here.
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	gcImp, ok := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("loader: gc importer is not an ImporterFrom")
+	}
+
+	// Source-check the non-standard packages in dependency order.
+	source := map[string]*listedPkg{}
+	for _, p := range listed {
+		if !p.Standard {
+			source[p.ImportPath] = p
+		}
+	}
+	order, err := topo(source)
+	if err != nil {
+		return nil, err
+	}
+	built := map[string]*Package{}
+	imp := &mapImporter{built: built, fallback: gcImp}
+	for _, path := range order {
+		pkg, err := check(fset, imp, source[path])
+		if err != nil {
+			return nil, err
+		}
+		built[path] = pkg
+	}
+
+	out := make([]*Package, 0, len(order))
+	for _, path := range order {
+		p := built[path]
+		p.Root = roots[path]
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -export -deps -json` and returns every listed
+// package plus the set of import paths the patterns matched directly.
+func goList(dir string, patterns []string) (map[string]*listedPkg, map[string]bool, error) {
+	fields := "ImportPath,Dir,GoFiles,Imports,ImportMap,Export,Standard,Incomplete,Error"
+	run := func(args ...string) ([]byte, error) {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("loader: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		}
+		return out, nil
+	}
+	deps, err := run(append([]string{"list", "-e", "-export", "-deps", "-json=" + fields}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A second, dependency-free listing identifies which packages the
+	// patterns matched directly (the roots to analyze).
+	rootList, err := run(append([]string{"list", "-e", "-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	listed := map[string]*listedPkg{}
+	dec := json.NewDecoder(bytes.NewReader(deps))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Incomplete {
+			return nil, nil, fmt.Errorf("loader: %s: incomplete package", p.ImportPath)
+		}
+		q := p
+		listed[p.ImportPath] = &q
+	}
+	roots := map[string]bool{}
+	dec = json.NewDecoder(bytes.NewReader(rootList))
+	for {
+		var p struct{ ImportPath string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		roots[p.ImportPath] = true
+	}
+	return listed, roots, nil
+}
+
+// topo orders the module packages so every package follows its module
+// dependencies.
+func topo(pkgs map[string]*listedPkg) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("loader: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := pkgs[path]
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if m, ok := p.ImportMap[d]; ok {
+				d = m
+			}
+			if _, ok := pkgs[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// mapImporter resolves module imports to the source-checked packages of this
+// load and everything else through the export-data importer.
+type mapImporter struct {
+	built    map[string]*Package
+	fallback types.ImporterFrom
+	current  *listedPkg // package being checked, for ImportMap resolution
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mapImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if m.current != nil {
+		if mapped, ok := m.current.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	if p, ok := m.built[path]; ok {
+		return p.Types, nil
+	}
+	return m.fallback.ImportFrom(path, srcDir, 0)
+}
+
+// check parses and type-checks one module package from source.
+func check(fset *token.FileSet, imp *mapImporter, lp *listedPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	imp.current = lp
+	defer func() { imp.current = nil }()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,9 @@
+// Package badignore exercises the directive contract: an ignore without a
+// justification must itself be reported as a finding.
+package badignore
+
+//optcc:hotpath
+func allocates(n int) []int {
+	//cclint:ignore hotpath
+	return make([]int, n)
+}

@@ -1,0 +1,41 @@
+// Package sim is the positive gojoin fixture (the analyzer applies only to
+// packages named sim): goroutines nothing can wait on.
+package sim
+
+import "sync"
+
+type request struct {
+	reply chan int
+}
+
+func fireAndForget() {
+	go func() { // want "goroutine is not joined"
+		_ = 1 + 1
+	}()
+}
+
+// selectorSend replies through a channel only the request can name: the
+// spawner has nothing to wait on, so this does not count as a join.
+func selectorSend(r request) {
+	go func() { // want "goroutine is not joined"
+		r.reply <- 42
+	}()
+}
+
+func worker() {
+	_ = 1 + 1
+}
+
+// namedUnjoined spawns a same-package function whose body signals nothing.
+func namedUnjoined() {
+	go worker() // want "goroutine is not joined"
+}
+
+// dynamicSpawn spawns through a function value the analyzer cannot resolve.
+func dynamicSpawn(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go fn() // want "unresolvable callee"
+	wg.Done()
+	wg.Wait()
+}

@@ -1,0 +1,47 @@
+// Package sim is the negative gojoin fixture: every spawn is joined through
+// a WaitGroup or a channel the spawner owns.
+package sim
+
+import "sync"
+
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = 1 + 1
+		}()
+	}
+	wg.Wait()
+}
+
+func channelClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = 1 + 1
+	}()
+	<-done
+}
+
+func channelSend() int {
+	result := make(chan int, 1)
+	go func() {
+		result <- 42
+	}()
+	return <-result
+}
+
+func joinedWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	_ = 1 + 1
+}
+
+// namedJoined spawns a same-package function that signals its WaitGroup.
+func namedJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go joinedWorker(&wg)
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+// Package recycleclean is the negative fixture: release-last and
+// rebind-after-release idioms the analyzer must accept.
+package recycleclean
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 1024) }}
+
+type freelist struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+//optcc:release
+func (fl *freelist) putBuf(p []byte) {
+	fl.mu.Lock()
+	fl.free = append(fl.free, p)
+	fl.mu.Unlock()
+}
+
+type version struct {
+	payload []byte
+	sum     byte
+}
+
+// releaseLast touches the buffer only before returning it.
+func releaseLast(fl *freelist, v *version) byte {
+	b := v.payload[0]
+	fl.putBuf(v.payload)
+	return b
+}
+
+// rebindAfterRelease swaps in a fresh buffer after releasing the old one;
+// uses of the rebound variable are fine.
+func rebindAfterRelease(fl *freelist, v *version, fresh []byte) byte {
+	fl.putBuf(v.payload)
+	v.payload = fresh
+	return v.payload[0]
+}
+
+// poolRoundTrip gets, uses, puts — in that order.
+func poolRoundTrip() byte {
+	buf := bufPool.Get().([]byte)
+	buf = buf[:8]
+	b := buf[0]
+	bufPool.Put(buf)
+	return b
+}
+
+// unrelatedBuffers releases one buffer and keeps using another.
+func unrelatedBuffers(fl *freelist, dead, live []byte) byte {
+	fl.putBuf(dead)
+	return live[0]
+}

@@ -55,7 +55,10 @@ type fastSlot struct {
 
 const escalated = -1
 
+//optcc:hotpath
 func encTx(tx TxID) int64 { return int64(tx) + 1 }
+
+//optcc:hotpath
 func decTx(st int64) TxID { return TxID(st - 1) }
 
 // fastSet tracks the variables a transaction holds via the fast path, so
@@ -73,16 +76,21 @@ type fastSet struct {
 // add records a fast-held variable. Caller holds fs.mu. Callers never add
 // a variable twice: the fast path adds only on a winning CAS, and a
 // reentrant grant returns before reaching here.
+//
+//optcc:hotpath
 func (fs *fastSet) add(v core.Var) {
 	if fs.n < len(fs.arr) {
 		fs.arr[fs.n] = v
 		fs.n++
 		return
 	}
+	//cclint:ignore hotpath overflow beyond the inline array is the rare many-locks case; capacity is kept across attempts
 	fs.over = append(fs.over, v)
 }
 
 // remove drops one occurrence of v (a no-op if absent). Caller holds fs.mu.
+//
+//optcc:hotpath
 func (fs *fastSet) remove(v core.Var) {
 	for i := 0; i < fs.n; i++ {
 		if fs.arr[i] == v {
@@ -148,6 +156,8 @@ func (s *ShardedTable) Reserve(n int) {
 }
 
 // reserved reports whether tx falls in the Reserve range.
+//
+//optcc:hotpath
 func (s *ShardedTable) reserved(tx TxID) bool {
 	return tx >= 0 && int(tx) < len(s.birthArr)
 }
@@ -162,6 +172,8 @@ func (s *ShardedTable) ShardOf(v core.Var) int { return ShardOfVar(v, len(s.shar
 // the hot paths (every Acquire/Release and every dispatch route) allocate
 // nothing. This is THE partition function — online's Sharded combinator
 // uses it too, so dispatch routing and lock-shard ownership always agree.
+//
+//optcc:hotpath
 func ShardOfVar(v core.Var, n int) int {
 	if n <= 1 {
 		return 0
@@ -198,21 +210,27 @@ func (s *ShardedTable) Register(tx TxID) {
 	}
 }
 
+//optcc:hotpath
 func (s *ShardedTable) slot(v core.Var) *fastSlot {
+	//cclint:ignore hotpath sync.Map lookup is the slot registry; one boxed key per lookup is the accepted cost until slots are reserved like birthArr
 	if sl, ok := s.slots.Load(v); ok {
 		return sl.(*fastSlot)
 	}
+	//cclint:ignore hotpath first-touch slot creation happens once per variable, not per request
 	sl, _ := s.slots.LoadOrStore(v, &fastSlot{})
 	return sl.(*fastSlot)
 }
 
+//optcc:hotpath
 func (s *ShardedTable) fastSetOf(tx TxID) *fastSet {
 	if s.reserved(tx) {
 		return &s.fastArr[tx]
 	}
+	//cclint:ignore hotpath unreserved-id fallback; ConcurrentStrict2PL reserves every id up front
 	if fs, ok := s.fast.Load(tx); ok {
 		return fs.(*fastSet)
 	}
+	//cclint:ignore hotpath unreserved-id fallback; ConcurrentStrict2PL reserves every id up front
 	fs, _ := s.fast.LoadOrStore(tx, &fastSet{})
 	return fs.(*fastSet)
 }
@@ -220,10 +238,13 @@ func (s *ShardedTable) fastSetOf(tx TxID) *fastSet {
 // fastSetIfAny is fastSetOf without the create-on-miss: release paths use
 // it so releasing for a transaction that never fast-locked allocates
 // nothing.
+//
+//optcc:hotpath
 func (s *ShardedTable) fastSetIfAny(tx TxID) *fastSet {
 	if s.reserved(tx) {
 		return &s.fastArr[tx]
 	}
+	//cclint:ignore hotpath unreserved-id fallback; ConcurrentStrict2PL reserves every id up front
 	if fs, ok := s.fast.Load(tx); ok {
 		return fs.(*fastSet)
 	}
@@ -256,6 +277,8 @@ func (s *ShardedTable) escalate(sl *fastSlot, t *Table, v core.Var) {
 // ok=false means the request must go through the owning shard's Table.
 // It is THE fast path — Acquire and AcquireBatch both use it, so the
 // batched and unbatched lock managers cannot drift apart.
+//
+//optcc:hotpath
 func (s *ShardedTable) tryFast(tx TxID, sl *fastSlot, v core.Var, m Mode) (Result, bool) {
 	st := sl.state.Load()
 	if st == encTx(tx) {
@@ -362,6 +385,7 @@ func (s *ShardedTable) Release(tx TxID, v core.Var) []Grant {
 	return sh.t.Release(tx, v)
 }
 
+//optcc:hotpath
 func (s *ShardedTable) dropFast(tx TxID, v core.Var) {
 	if fs := s.fastSetIfAny(tx); fs != nil {
 		fs.mu.Lock()
@@ -460,10 +484,12 @@ func (s *ShardedTable) ChooseVictim(cycle []TxID) TxID {
 	return victim
 }
 
+//optcc:hotpath
 func (s *ShardedTable) birthOf(tx TxID) int64 {
 	if s.reserved(tx) {
 		return s.birthArr[tx].Load()
 	}
+	//cclint:ignore hotpath unreserved-id fallback; ConcurrentStrict2PL reserves every id up front
 	if b, ok := s.birth.Load(tx); ok {
 		return b.(int64)
 	}

@@ -37,6 +37,8 @@ type WaitsForProvider interface {
 // shardOfVar hash-partitions a variable across n shards. It is
 // lockmgr.ShardOfVar, the single partition function, so lock state and
 // dispatch always agree on ownership.
+//
+//optcc:hotpath
 func shardOfVar(v core.Var, n int) int { return lockmgr.ShardOfVar(v, n) }
 
 // Mutexed wraps a single-threaded Scheduler behind one mutex: the

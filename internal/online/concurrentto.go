@@ -94,6 +94,8 @@ func (s *ConcurrentTO) Begin(sys *core.System) {
 
 // Try implements Scheduler. Lock-free: one immutable map lookup plus
 // atomic loads and CAS max-updates.
+//
+//optcc:hotpath
 func (s *ConcurrentTO) Try(id core.StepID) Decision {
 	ts := s.ts[id.Tx].Load()
 	if ts == 0 {
@@ -148,4 +150,6 @@ func (s *ConcurrentTO) Abort(tx int) { s.ts[tx].Store(0) }
 func (s *ConcurrentTO) NumShards() int { return s.shards }
 
 // ShardOf implements ConcurrentScheduler.
+//
+//optcc:hotpath
 func (s *ConcurrentTO) ShardOf(v core.Var) int { return shardOfVar(v, s.shards) }

@@ -185,7 +185,10 @@ type Histogram struct {
 }
 
 // Add records an observation.
+//
+//optcc:hotpath
 func (h *Histogram) Add(x float64) {
+	//cclint:ignore hotpath presized by Grow; overflow beyond the reservation falls back to amortized growth by design
 	h.xs = append(h.xs, x)
 	h.sorted = false
 }

@@ -25,9 +25,13 @@ func newBatchSizer(cap int) *batchSizer {
 }
 
 // bound returns the current coalescing bound in [1, cap].
+//
+//optcc:hotpath
 func (b *batchSizer) bound() int { return b.cur }
 
 // observe feeds the size of the batch just drained and adjusts the bound.
+//
+//optcc:hotpath
 func (b *batchSizer) observe(n int) {
 	if b.cap == 1 {
 		return

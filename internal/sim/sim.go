@@ -252,10 +252,14 @@ func (e *runErrors) get() error {
 // through the normal abort path (rollback, then scheduler release) and stop
 // it — continuing, or worse committing, would persist a partially-applied
 // transaction.
+//
+//optcc:hotpath
 func applyStep(cfg *Config, tx, idx int, m *Metrics, metMu *sync.Mutex, errs *runErrors) bool {
 	if cfg.Backend != nil {
 		start := time.Now()
+		//cclint:ignore hotpath the backend apply is the measured payload work itself, not dispatch overhead
 		if err := cfg.Backend.ApplyStep(tx, cfg.System.Txs[tx].Steps[idx]); err != nil {
+			//cclint:ignore hotpath failure path; an apply error aborts the transaction, allocation is irrelevant
 			errs.set(fmt.Errorf("sim: apply %v: %w", core.StepID{Tx: tx, Idx: idx}, err))
 			return false
 		}
@@ -477,7 +481,16 @@ func Run(cfg Config) (*Metrics, error) {
 	// backlog, batchSizer) so Batch is the cap, not a fixed size; each
 	// channel has its own sizer — commit drains are often singletons, and a
 	// shared bound would let them keep halving what the request path earned.
+	// schedWG joins the scheduler before Run returns: every sender has
+	// exited by the time done is closed (wg.Wait above the close), so the
+	// scheduler drains nothing after the join starts and Wait is bounded.
+	// Without the join the goroutine could still be inside a mu-protected
+	// batch while Run's caller reads Metrics — the race gojoin exists to
+	// prevent.
+	var schedWG sync.WaitGroup
+	schedWG.Add(1)
 	go func() {
+		defer schedWG.Done()
 		reqSizer := newBatchSizer(batch)
 		commitSizer := newBatchSizer(batch)
 		reqBuf := make([]request, 0, batch)
@@ -639,6 +652,7 @@ func Run(cfg Config) (*Metrics, error) {
 	close(jobCh)
 	wg.Wait()
 	close(done)
+	schedWG.Wait()
 	m.Elapsed = time.Since(start)
 	if err := errs.get(); err != nil {
 		return nil, err

@@ -50,6 +50,8 @@ type version struct {
 
 // uncommittedMark is the begin stamp of a version whose writing transaction
 // has not committed: negative, so it compares below every snapshot.
+//
+//optcc:hotpath
 func uncommittedMark(tx int) int64 { return -int64(tx) - 1 }
 
 // chain is one variable's version list: just the CAS-installed head.
@@ -174,6 +176,8 @@ const classFree = 256
 
 // classOf returns the size class whose buffers hold size bytes, or -1 when
 // the size is out of the classed range.
+//
+//optcc:hotpath
 func classOf(size int) int {
 	if size <= 0 || size > 1<<(numClasses-1) {
 		return -1
@@ -185,9 +189,12 @@ func classOf(size int) int {
 // getBuf returns a payload buffer of the given size from the shard's
 // freelist, or a fresh one with class-rounded capacity so it can be
 // recycled later.
+//
+//optcc:hotpath
 func (sh *kvShard) getBuf(size int) []byte {
 	c := classOf(size)
 	if c < 0 {
+		//cclint:ignore hotpath out-of-class payloads (>8 MiB) fall back to the allocator by design
 		return make([]byte, size)
 	}
 	sh.freeMu.Lock()
@@ -199,12 +206,16 @@ func (sh *kvShard) getBuf(size int) []byte {
 		return p[:size]
 	}
 	sh.freeMu.Unlock()
+	//cclint:ignore hotpath freelist miss is the warm-up path; steady state hits the freelist
 	return make([]byte, size, 1<<c)
 }
 
 // putBuf returns a dead payload buffer to the shard's freelist. Buffers
 // whose capacity is not an exact class size (or whose class is full) are
 // dropped to the garbage collector.
+//
+//optcc:hotpath
+//optcc:release
 func (sh *kvShard) putBuf(p []byte) {
 	sh.freeMu.Lock()
 	sh.putBufLocked(p)
@@ -212,6 +223,9 @@ func (sh *kvShard) putBuf(p []byte) {
 }
 
 // putBufLocked is putBuf for callers already holding freeMu.
+//
+//optcc:hotpath
+//optcc:release
 func (sh *kvShard) putBufLocked(p []byte) {
 	if cap(p) == 0 {
 		return
@@ -221,6 +235,7 @@ func (sh *kvShard) putBufLocked(p []byte) {
 		return
 	}
 	if len(sh.free[c]) < classFree {
+		//cclint:ignore hotpath freelist append is bounded by classFree and reuses capacity after warm-up
 		sh.free[c] = append(sh.free[c], p[:cap(p)])
 	}
 }
@@ -354,6 +369,7 @@ func (kv *KV) Name() string { return fmt.Sprintf("kv(%d)", len(kv.shards)) }
 // NumShards returns the map partition count.
 func (kv *KV) NumShards() int { return len(kv.shards) }
 
+//optcc:hotpath
 func (kv *KV) shard(v core.Var) *kvShard {
 	return &kv.shards[lockmgr.ShardOfVar(v, len(kv.shards))]
 }
@@ -369,22 +385,28 @@ func (kv *KV) sizeOf(v core.Var) int {
 // lock-free fast path for every variable declared at Reset). Undeclared
 // variables fall back to the extra sync.Map; with create false a fully
 // unknown variable returns nil.
+//
+//optcc:hotpath
 func (kv *KV) chainOf(v core.Var, create bool) *chain {
 	if ch, ok := kv.shard(v).data[v]; ok {
 		return ch
 	}
+	//cclint:ignore hotpath undeclared-variable fallback; Reset declares every variable the experiments touch
 	if e, ok := kv.extra.Load(v); ok {
 		return e.(*chain)
 	}
 	if !create {
 		return nil
 	}
+	//cclint:ignore hotpath undeclared-variable fallback; Reset declares every variable the experiments touch
 	e, _ := kv.extra.LoadOrStore(v, &chain{})
 	return e.(*chain)
 }
 
 // checksum is the XOR fold of a payload; recomputed on every read so a read
 // touches every byte, the way a real engine's page checksum does.
+//
+//optcc:hotpath
 func checksum(p []byte) byte {
 	var s byte
 	for _, b := range p {
@@ -500,6 +522,8 @@ func (kv *KV) releaseCtx(c *txCtx) {
 // concurrent GC unlink cuts it short — possible only for unpinned readers
 // racing a supersede, where any committed successor is an acceptable
 // answer.
+//
+//optcc:hotpath
 func (kv *KV) Get(tx int, v core.Var) core.Value {
 	ch := kv.chainOf(v, false)
 	if ch == nil {
@@ -515,6 +539,7 @@ func (kv *KV) Get(tx int, v core.Var) core.Value {
 			kv.reads.Add(1)
 			kv.bytesRead.Add(int64(len(ver.rec.Payload)))
 			if checksum(ver.rec.Payload) != ver.rec.Sum {
+				//cclint:ignore hotpath corruption panic is the failure path; it never executes on a healthy run
 				panic(fmt.Sprintf("storage: payload corruption on %s", v))
 			}
 			return ver.rec.Scalar

@@ -44,16 +44,24 @@ type Entry struct {
 }
 
 // ReadTS returns the largest timestamp that read the variable.
+//
+//optcc:hotpath
 func (e *Entry) ReadTS() int64 { return e.read.Load() }
 
 // WriteTS returns the largest timestamp that wrote the variable.
+//
+//optcc:hotpath
 func (e *Entry) WriteTS() int64 { return e.write.Load() }
 
 // MaxRead raises the read timestamp to at least ts (CAS max-loop; a losing
 // CAS re-reads and retries only while ts is still ahead).
+//
+//optcc:hotpath
 func (e *Entry) MaxRead(ts int64) { maxUpdate(&e.read, ts) }
 
 // MaxWrite raises the write timestamp to at least ts.
+//
+//optcc:hotpath
 func (e *Entry) MaxWrite(ts int64) { maxUpdate(&e.write, ts) }
 
 // CASWrite installs new as the write timestamp iff it still holds old —
@@ -62,8 +70,11 @@ func (e *Entry) MaxWrite(ts int64) { maxUpdate(&e.write, ts) }
 // negative owner timestamp and must release it to an exact value rather
 // than a monotone max. Schedulers using CASWrite own the entry's write
 // field's encoding outright and must not mix it with MaxWrite.
+//
+//optcc:hotpath
 func (e *Entry) CASWrite(old, new int64) bool { return e.write.CompareAndSwap(old, new) }
 
+//optcc:hotpath
 func maxUpdate(a *atomic.Int64, ts int64) {
 	for {
 		cur := a.Load()
@@ -102,13 +113,17 @@ func (t *Table) NumShards() int { return len(t.shards) }
 // Entry returns the timestamp entry of v, creating a fallback entry if v
 // was not declared at construction. The declared-variable path is
 // lock-free: one immutable map lookup.
+//
+//optcc:hotpath
 func (t *Table) Entry(v core.Var) *Entry {
 	if e, ok := t.shards[lockmgr.ShardOfVar(v, len(t.shards))][v]; ok {
 		return e
 	}
+	//cclint:ignore hotpath undeclared-variable fallback; unreachable when the run declares its variable set
 	if e, ok := t.extra.Load(v); ok {
 		return e.(*Entry)
 	}
+	//cclint:ignore hotpath undeclared-variable fallback; unreachable when the run declares its variable set
 	e, _ := t.extra.LoadOrStore(v, &Entry{})
 	return e.(*Entry)
 }

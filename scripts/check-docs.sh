@@ -181,6 +181,45 @@ if ! grep -q 'noop' internal/storage/storage.go; then
   fail=1
 fi
 
+# The static-analysis surface must stay documented and wired: the lint
+# target, the cclint driver, DESIGN.md's analyzer ↔ invariant map with the
+# directive conventions, and the five analyzers registered in the suite.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'cclint' "$doc"; then
+    echo "check-docs: $doc does not document cclint"
+    fail=1
+  fi
+done
+if ! grep -q 'Static analysis' DESIGN.md; then
+  echo "check-docs: DESIGN.md lost its Static analysis section"
+  fail=1
+fi
+for d in 'optcc:hotpath' 'optcc:release' 'cclint:ignore'; do
+  if ! grep -q "$d" DESIGN.md; then
+    echo "check-docs: DESIGN.md does not document the //$d directive"
+    fail=1
+  fi
+done
+if ! grep -q '^lint:' Makefile; then
+  echo "check-docs: Makefile lost its lint target"
+  fail=1
+fi
+if ! grep -q 'make lint' .github/workflows/ci.yml; then
+  echo "check-docs: CI lost its lint job"
+  fail=1
+fi
+for a in lockorder hotpath recycle atomiconly gojoin; do
+  if ! grep -qri "name: \"$a\"" internal/lint/*.go 2>/dev/null && \
+     ! grep -q "Name: \"$a\"" internal/lint/*.go; then
+    echo "check-docs: analyzer $a is no longer registered in internal/lint"
+    fail=1
+  fi
+  if ! grep -q "$a" DESIGN.md; then
+    echo "check-docs: DESIGN.md does not document the $a analyzer"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL"
   exit 1
