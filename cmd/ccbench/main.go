@@ -1,5 +1,5 @@
 // Command ccbench runs the paper-reproduction experiments (T1–T4 theorems,
-// F1–F5 figures, E1–E13 measurements) and prints their tables.
+// F1–F5 figures, E1–E14 measurements) and prints their tables.
 //
 // Usage:
 //
@@ -14,6 +14,7 @@
 //	ccbench -exp E11 -shards 1,4 -railstripes 8  # native-TO / rail sweep
 //	ccbench -exp E12 -readfrac 0.5,0.99 -users 16  # multiversion read sweep
 //	ccbench -exp E13 -fsync always,group -batch 1,8,32  # durable-commit sweep
+//	ccbench -exp E14 -checkpoint 0,8192,65536  # fuzzy-checkpoint footprint sweep
 //
 // Profiling and allocation measurement (the perf workflow behind the
 // zero-allocation hot path, DESIGN.md "Memory discipline"):
@@ -99,6 +100,7 @@ func main() {
 		stripesFlag = flag.Int("railstripes", 0, "ordering-rail stripe count for the E11 sweep (0 = one per shard)")
 		fracFlag    = flag.String("readfrac", "", "comma-separated read fractions for the E12 multiversion sweep (default 0.5,0.9,0.99)")
 		fsyncFlag   = flag.String("fsync", "", "comma-separated fsync policies for the E13 durable-commit sweep (always|group|never; default always,group,never)")
+		ckptFlag    = flag.String("checkpoint", "", "comma-separated checkpoint intervals (WAL bytes) for the E14 sweep; 0 = checkpointing off (default 0,8192,65536)")
 		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11 real-execution sweeps (kv|noop; default kv)")
 		cpuFlag     = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memFlag     = flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
@@ -193,6 +195,20 @@ func main() {
 			sweep = append(sweep, p)
 		}
 		experiments.E13Config.Fsyncs = sweep
+	}
+	if *ckptFlag != "" {
+		// Not parseIntList: 0 is a legal interval here (it is the
+		// checkpointing-off control column of the sweep).
+		var sweep []int
+		for _, part := range strings.Split(*ckptFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "ccbench: bad -checkpoint: %q is not a non-negative byte count\n", strings.TrimSpace(part))
+				os.Exit(2)
+			}
+			sweep = append(sweep, n)
+		}
+		experiments.E14Config.Intervals = sweep
 	}
 
 	runners, order := experiments.All()

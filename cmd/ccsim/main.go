@@ -14,6 +14,7 @@
 //	ccsim -workload readmostly -readfrac 0.95 -sched mv -shards 4 -backend kv
 //	ccsim -workload disjoint -sched 2pl-woundwait -shards 4 -backend disk -fsync group -batch 16
 //	ccsim -workload banking -sched 2pl-woundwait -backend disk -dir /tmp/ccwal -fsync always
+//	ccsim -workload disjoint -sched 2pl-woundwait -shards 4 -backend disk -checkpoint 262144
 //
 // -shards 0 (default) runs the classic centralized scheduler goroutine;
 // -shards N >= 1 runs the concurrent engine: per-shard dispatch loops over
@@ -58,6 +59,15 @@
 // the 2PL family) run the eager redo+undo mode; everything else runs
 // write-buffered, where uncommitted writes never reach the log — that is
 // what makes non-strict schedulers recoverable (see internal/storage).
+//
+// -checkpoint N arms the disk backend's background fuzzy checkpointer:
+// every N bytes of WAL growth it snapshots the store to a checkpoint file
+// (tmp → sync → rename), records a durable marker in the log, and retires
+// the sealed segments wholly behind the snapshot — bounding the on-disk
+// footprint and recovery time of a long run. Commits proceed during the
+// checkpoint; checkpoint failures retry with backoff and, if persistent,
+// disable checkpointing (reported as degraded) without ever touching the
+// commit path. 0 (default) disables it.
 package main
 
 import (
@@ -192,6 +202,7 @@ func main() {
 		valueSize = flag.Int("valuesize", 256, "payload bytes per stored record (kv backend)")
 		dir       = flag.String("dir", "", "WAL directory for the disk backend (empty = fresh temp dir, removed after the run)")
 		fsync     = flag.String("fsync", "group", "fsync policy for the disk backend (always|group|never)")
+		ckpt      = flag.Int("checkpoint", 0, "WAL bytes between background fuzzy checkpoints of the disk backend (0 = off)")
 		exec      = flag.Duration("exec", 100*time.Microsecond, "extra simulated per-step execution time")
 		think     = flag.Duration("think", 0, "max per-step user think time")
 		seed      = flag.Int64("seed", 1979, "random seed")
@@ -237,6 +248,7 @@ func main() {
 		be, err = storage.New(*backend, storage.Config{
 			Shards: s, ValueSize: *valueSize, Recycle: strict,
 			Dir: *dir, Fsync: policy, Buffered: !strict,
+			CheckpointBytes: *ckpt,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccsim: %v\n", err)
@@ -291,6 +303,14 @@ func main() {
 		if d, ok := be.(storage.DurableBackend); ok {
 			fmt.Printf("durability     %s fsync=%s fsyncs=%d walKB=%.1f walTruncated=%d recovery=%v\n",
 				d.Name(), *fsync, m.Fsyncs, float64(m.WALBytes)/1024, m.WALTruncated, time.Duration(m.RecoveryNs))
+			if *ckpt > 0 {
+				health := "on"
+				if m.CheckpointerOff {
+					health = "OFF (degraded: persistent checkpoint failures)"
+				}
+				fmt.Printf("checkpointing  every %dB: checkpoints=%d failures=%d segmentsRetired=%d checkpointer=%s\n",
+					*ckpt, m.Checkpoints, m.CheckpointFailures, m.SegmentsRetired, health)
+			}
 			if *dir != "" {
 				fmt.Printf("waldir         %s (log persisted after clean close)\n", *dir)
 			}

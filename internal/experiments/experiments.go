@@ -1,11 +1,12 @@
 // Package experiments drives every experiment in DESIGN.md's
-// per-experiment index (T1–T4, F1–F5, E1–E13) and renders the tables
+// per-experiment index (T1–T4, F1–F5, E1–E14) and renders the tables
 // recorded in EXPERIMENTS.md. cmd/ccbench is a thin CLI over this package;
 // the root bench_test.go wraps each experiment in a testing.B benchmark.
 package experiments
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -94,8 +95,9 @@ func All() (map[string]Runner, []string) {
 		"E11": E11NativeTimestampOrdering,
 		"E12": E12MultiversionReadScaling,
 		"E13": E13DurableCommit,
+		"E14": E14CheckpointedWAL,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	order := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	return m, order
 }
 
@@ -1330,6 +1332,188 @@ func e13WithScale(jobs, users, shards int, batches []int, fsyncs []string) (*Res
 		}
 	}
 	return res, nil
+}
+
+// E14Config parameterizes the checkpointing experiment; cmd/ccbench
+// overrides the interval sweep via its -checkpoint flag.
+var E14Config = struct {
+	Volumes      []int // committed-transaction volumes (jobs per run)
+	Users        int
+	Shards       int
+	Batch        int
+	SegmentBytes int
+	Intervals    []int // CheckpointBytes values; 0 = checkpointing off
+}{Volumes: []int{128, 1024}, Users: 16, Shards: 4, Batch: 8,
+	SegmentBytes: 4096, Intervals: []int{0, 8192, 65536}}
+
+// E14CheckpointedWAL measures the online fuzzy checkpointer: checkpoint
+// interval × commit volume on the disjoint workload, reporting the
+// post-run on-disk footprint (segments + checkpoint files) and what the
+// subsequent OpenDisk actually had to replay. Without checkpointing
+// (interval 0) both grow linearly with commit volume — the log IS the
+// database, and it only shrinks at recovery. With the checkpointer armed,
+// sealed segments behind each durable checkpoint marker are retired
+// online, so footprint and recovery work stay near one interval's worth
+// regardless of how much history the run committed — the property that
+// lets a disk backend run forever.
+//
+// Self-checks per cell: everything commits; the live state equals the
+// committed replay; recovery after a clean Close reproduces it exactly
+// with an untruncated log; the checkpointer is never degraded
+// (CheckpointerOff) on a healthy filesystem; and checkpointed cells at
+// the top volume must have completed at least one checkpoint, retired at
+// least one segment, and ended with a strictly smaller footprint than the
+// interval-0 control at the same volume.
+func E14CheckpointedWAL() (*Result, error) {
+	return e14WithScale(E14Config.Volumes, E14Config.Users, E14Config.Shards,
+		E14Config.Batch, E14Config.SegmentBytes, E14Config.Intervals)
+}
+
+// E14Quick is a smaller variant for tests.
+func E14Quick() (*Result, error) {
+	return e14WithScale([]int{256}, 4, 2, 8, 2048, []int{0, 8192})
+}
+
+func e14WithScale(volumes []int, users, shards, batch, segBytes int, intervals []int) (*Result, error) {
+	res := &Result{
+		ID:    "E14",
+		Title: "Online fuzzy checkpointing — interval × commit volume on the WAL disk backend",
+		Text: "Disjoint workload under sharded strict 2PL (eager redo+undo logging, group " +
+			"commit). interval is Config.CheckpointBytes: WAL bytes between background fuzzy " +
+			"checkpoints (0 = off). footprint is the on-disk bytes (segments + checkpoint " +
+			"files) after a clean Close; recovery-KB is what the subsequent OpenDisk replayed " +
+			"(checkpoint + log tail). Self-check per cell: live state == committed replay == " +
+			"recovered state, clean log, checkpointer healthy; checkpointed cells must beat " +
+			"the interval-0 footprint at the top volume.",
+	}
+	t := report.NewTable(fmt.Sprintf("%d users, %d shards, batch %d, %dB segments", users, shards, batch, segBytes),
+		"interval-B", "jobs", "committed", "checkpoints", "segs-retired", "footprint-KB", "recovery-KB", "recovery", "throughput-tx/s", "self-check")
+	// footprint[interval][volume], for the bounded-footprint check and the
+	// headline appended to the text.
+	footKB := map[int]map[int]float64{}
+	type ckptCell struct{ interval, volume int }
+	var checkpointed []ckptCell
+	for _, interval := range intervals {
+		footKB[interval] = map[int]float64{}
+		for _, volume := range volumes {
+			label := fmt.Sprintf("interval=%d volume=%d", interval, volume)
+			be, err := storage.NewDisk(storage.Config{
+				Fsync: storage.FsyncGroup, SegmentBytes: segBytes, CheckpointBytes: interval,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E14: %w", err)
+			}
+			template := workload.Disjoint(volume, 3)
+			inst := sim.Instantiate(template, volume)
+			m, err := sim.Run(sim.Config{
+				System: inst, Sched: online.NewConcurrentStrict2PL(lockmgr.WoundWait, shards),
+				Backend: be, Users: users, Seed: 1979, Batch: batch,
+			})
+			if err != nil {
+				be.Destroy()
+				return nil, fmt.Errorf("E14: %s: %w", label, err)
+			}
+			if m.Committed != volume {
+				be.Destroy()
+				return nil, fmt.Errorf("E14: %s committed %d of %d", label, m.Committed, volume)
+			}
+			replay, err := core.Exec(inst, m.Output, inst.InitialStates()[0])
+			if err != nil {
+				be.Destroy()
+				return nil, fmt.Errorf("E14: %s replay: %w", label, err)
+			}
+			if !be.State().Equal(replay) {
+				be.Destroy()
+				return nil, fmt.Errorf("E14: %s live state diverged from committed replay", label)
+			}
+			dir := be.Dir()
+			if err := be.Close(); err != nil {
+				return nil, fmt.Errorf("E14: %s close: %w", label, err)
+			}
+			// Close stops the background checkpointer and drains any attempt
+			// still in flight; read the checkpoint counters only now, so the
+			// table never shows a half-finished checkpoint.
+			dsRun := be.DurabilityStats()
+			if dsRun.CheckpointerOff {
+				return nil, fmt.Errorf("E14: %s checkpointer degraded on a healthy filesystem", label)
+			}
+			files, bytes, err := walFootprint(dir)
+			if err != nil {
+				return nil, fmt.Errorf("E14: %s footprint: %w", label, err)
+			}
+			r, err := storage.OpenDisk(storage.Config{Dir: dir})
+			if err != nil {
+				return nil, fmt.Errorf("E14: %s recovery: %w", label, err)
+			}
+			recovered := r.State()
+			ds := r.DurabilityStats()
+			r.Destroy()
+			if !recovered.Equal(replay) {
+				return nil, fmt.Errorf("E14: %s recovered state diverged from committed replay", label)
+			}
+			if ds.WALTruncated != 0 {
+				return nil, fmt.Errorf("E14: %s clean shutdown recovered a truncated log", label)
+			}
+			if interval > 0 && dsRun.Checkpoints > 0 {
+				checkpointed = append(checkpointed, ckptCell{interval, volume})
+			}
+			footKB[interval][volume] = float64(bytes) / 1024
+			t.AddRow(interval, volume, m.Committed, dsRun.Checkpoints, dsRun.SegmentsRetired,
+				fmt.Sprintf("%.1f (%d files)", float64(bytes)/1024, files),
+				float64(ds.RecoveryBytes)/1024, time.Duration(ds.RecoveryNs), m.Throughput,
+				"recovered==replay")
+		}
+	}
+	res.Tables = append(res.Tables, t)
+	// The bounded-footprint check and headline: at the top volume, every
+	// checkpointed interval must beat the interval-0 control, and at least
+	// one checkpointed cell must exist at all (a sweep whose checkpointer
+	// never fired would be vacuous).
+	top := volumes[len(volumes)-1]
+	hasControl := footKB[0] != nil && footKB[0][top] > 0
+	anyTop := false
+	for _, c := range checkpointed {
+		if c.volume != top {
+			continue
+		}
+		anyTop = true
+		if hasControl && footKB[c.interval][top] >= footKB[0][top] {
+			return nil, fmt.Errorf("E14: interval=%d footprint %.1fKB not below the interval-0 control %.1fKB at volume %d",
+				c.interval, footKB[c.interval][top], footKB[0][top], top)
+		}
+		if hasControl {
+			res.Text += fmt.Sprintf("\ninterval %dB at %d jobs: footprint %.1fKB vs %.1fKB unchecked (%.1fx smaller).",
+				c.interval, top, footKB[c.interval][top], footKB[0][top], footKB[0][top]/footKB[c.interval][top])
+		}
+	}
+	if len(checkpointed) > 0 && !anyTop {
+		return nil, fmt.Errorf("E14: checkpointer fired only below the top volume; sweep misconfigured")
+	}
+	if hasControl && len(intervals) > 1 && len(checkpointed) == 0 {
+		return nil, fmt.Errorf("E14: no cell completed a checkpoint; intervals %v too coarse for volumes %v", intervals, volumes)
+	}
+	return res, nil
+}
+
+// walFootprint sums the disk backend's on-disk files (segments and
+// checkpoint files; the advisory LOCK file is bookkeeping, not state).
+func walFootprint(dir string) (files int, bytes int64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range ents {
+		if e.IsDir() || e.Name() == "LOCK" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return 0, 0, err
+		}
+		files++
+		bytes += info.Size()
+	}
+	return files, bytes, nil
 }
 
 // RunAll executes every experiment in order and returns the results.

@@ -160,6 +160,29 @@ func TestE13Quick(t *testing.T) {
 	}
 }
 
+func TestE14Quick(t *testing.T) {
+	r, err := E14Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One table sweeping checkpoint interval × job volume; the runner
+	// asserts per cell that live state == replay == recovery, that the
+	// checkpointer stayed healthy, and that every checkpointed interval
+	// shrinks the on-disk footprint below the interval-0 control.
+	if len(r.Tables) != 1 {
+		t.Fatalf("E14 quick tables = %d", len(r.Tables))
+	}
+	s := r.Tables[0].String()
+	for _, want := range []string{"interval-B", "recovered==replay"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E14 table missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(r.Text, "smaller") {
+		t.Errorf("E14 text missing footprint headline:\n%s", r.Text)
+	}
+}
+
 func TestNewBackendUnknown(t *testing.T) {
 	if _, err := NewBackend("bogus", 1, 0); err == nil {
 		t.Error("unknown backend accepted")
@@ -168,7 +191,7 @@ func TestNewBackendUnknown(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

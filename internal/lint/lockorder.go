@@ -18,8 +18,9 @@ import (
 //   - lockmgr: per-shard table mutexes (tableShard.mu) are never nested —
 //     every multi-shard sweep releases one shard before locking the next —
 //     and fastSet.mu is innermost.
-//   - storage: Disk.syncMu is never taken under the backend mutex Disk.mu
-//     (the off-mutex group fsync exists precisely so appends can proceed
+//   - storage: Disk.ckptMu (whole-checkpoint serialization) is outermost,
+//     Disk.syncMu is never taken under the backend mutex Disk.mu (the
+//     off-mutex group fsync exists precisely so appends can proceed
 //     mid-fsync); kvShard.freeMu never nests with itself (the *Locked
 //     naming convention), and commitLane.mu never nests across lanes, with
 //     GroupCommitter.errMu innermost.
@@ -67,6 +68,7 @@ var lockClasses = map[string]*lockClass{
 	"stripedRail.compMu":   {key: "stripedRail.compMu", domain: "rail", rank: 20},
 	"tableShard.mu":        {key: "tableShard.mu", domain: "lockmgr", rank: 10, multi: true},
 	"fastSet.mu":           {key: "fastSet.mu", domain: "lockmgr", rank: 20, multi: true},
+	"Disk.ckptMu":          {key: "Disk.ckptMu", domain: "disk", rank: 5},
 	"Disk.syncMu":          {key: "Disk.syncMu", domain: "disk", rank: 10},
 	"Disk.mu":              {key: "Disk.mu", domain: "disk", rank: 20},
 	"commitLane.mu":        {key: "commitLane.mu", domain: "groupcommit", rank: 10, multi: true},

@@ -153,6 +153,17 @@ type Metrics struct {
 	WALBytes     int64
 	WALTruncated int64
 	RecoveryNs   int64
+	// Checkpoint counters (storage.DurableBackend, checkpoint.go):
+	// completed fuzzy checkpoints, failed attempts, sealed segments
+	// retired behind a durable marker, bytes the recovery that produced
+	// the backend actually replayed (log-since-checkpoint), and the
+	// graceful-degradation health flag — true once persistent checkpoint
+	// failures disabled the background checkpointer.
+	Checkpoints        int64
+	CheckpointFailures int64
+	SegmentsRetired    int64
+	RecoveryBytes      int64
+	CheckpointerOff    bool
 	// Output is the granted-step log projected to committed transactions'
 	// final attempts, in grant order: a legal prefix (whole transactions
 	// only) of the instance system, and a complete legal schedule when every
@@ -695,6 +706,11 @@ func fillDurableStats(m *Metrics, be storage.Backend) {
 		m.WALBytes = ds.WALBytes
 		m.WALTruncated = ds.WALTruncated
 		m.RecoveryNs = ds.RecoveryNs
+		m.Checkpoints = ds.Checkpoints
+		m.CheckpointFailures = ds.CheckpointFailures
+		m.SegmentsRetired = ds.SegmentsRetired
+		m.RecoveryBytes = ds.RecoveryBytes
+		m.CheckpointerOff = ds.CheckpointerOff
 	}
 }
 

@@ -1,0 +1,290 @@
+package storage
+
+// The online fuzzy checkpointer: what lets a disk backend run forever.
+//
+// Without it the log only shrinks at OpenDisk — a serving process
+// accumulates sealed segments without bound and its recovery time grows
+// with log-since-birth. The checkpointer bounds both, ARIES-style adapted
+// to this log's record algebra:
+//
+//  1. Capture (fuzzy, under d.mu, O(table) copy — commits proceed the
+//     moment the mutex drops): copy the table, copy the undo chains of
+//     live eager transactions, and note the anchor — (segment aseq, byte
+//     offset aoff) of the active segment. Because every table mutation and
+//     its log append happen together under d.mu, the capture equals the
+//     replay of the log prefix [.., aseq:aoff) exactly; the chains make
+//     the snapshot self-sufficient even while transactions are in flight
+//     (a captured live transaction that later aborts, or never ends, is
+//     undone from the checkpoint's own chains — its update records may be
+//     behind the checkpoint and already retired).
+//  2. Write the checkpoint file ckpt-N.ckpt off-mutex with the established
+//     tmp → sync → rename protocol: a header marker record (anchor), one
+//     snapshot record (the table), one update record per live chain entry.
+//     Same framing and checksums as the WAL, so torn checkpoints are
+//     detected exactly like torn segments — and ignored by recovery.
+//  3. Append the checkpoint marker to the WAL and sync it durable. The
+//     marker is what recovery and the torture harness cross-check; nothing
+//     is unlinked before it is on disk.
+//  4. Retire: close and unlink every sealed segment with seq < aseq (all
+//     of them are wholly behind the anchor), and GC superseded checkpoint
+//     files. Recovery (recovery.go) then starts from the newest complete
+//     checkpoint and replays only the tail — log-since-checkpoint, not
+//     log-since-birth.
+//
+// Graceful degradation is the contract, not an afterthought: a transient
+// fault in steps 2–4 fails only the checkpoint attempt — the commit path
+// never sees it — and the background loop retries with exponential
+// backoff; after ckptMaxFailures consecutive failures the checkpointer
+// disables itself and surfaces CheckpointerOff, leaving commits correct
+// and fast (the log merely stops being retired). A fault in step 3 is a
+// real log-append failure and poisons the store like any other append —
+// at which point the checkpointer (like GroupSync) observes the sticky
+// error and stops cleanly, performing no further unlinks.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"optcc/internal/core"
+)
+
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+	ckptTmpExt = ".tmp"
+)
+
+// ckptName formats checkpoint file names so lexicographic order is
+// creation order, mirroring segName.
+func ckptName(seq int) string { return fmt.Sprintf("ckpt-%08d.ckpt", seq) }
+
+// ckptMaxFailures is how many consecutive failed attempts the background
+// loop tolerates before disabling checkpointing (CheckpointerOff).
+const ckptMaxFailures = 5
+
+// ckptBackoffInitial seeds the exponential retry backoff.
+const ckptBackoffInitial = time.Millisecond
+
+// checkpointLoop is the background goroutine armed by
+// Config.CheckpointBytes: appendLocked kicks it when the bytes appended
+// since the last capture cross the threshold. Exits on Close, on a
+// poisoned store, or after persistent failures disable checkpointing.
+func (d *Disk) checkpointLoop() {
+	defer d.ckptWG.Done()
+	failures := 0
+	backoff := ckptBackoffInitial
+	for {
+		select {
+		case <-d.ckptStop:
+			return
+		case <-d.ckptKick:
+		}
+		for {
+			err := d.Checkpoint()
+			if err == nil {
+				failures, backoff = 0, ckptBackoffInitial
+				break
+			}
+			if d.Err() != nil {
+				return // sticky store error: stop cleanly, no more unlinks
+			}
+			if failures++; failures >= ckptMaxFailures {
+				d.mu.Lock()
+				d.ckptOff = true // health flag; commits continue unaffected
+				d.mu.Unlock()
+				return
+			}
+			select {
+			case <-d.ckptStop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// stopCheckpointer signals the background loop and waits for it — and any
+// in-flight checkpoint — to finish. Idempotent; called by Close before it
+// touches the segments, with no locks held (the loop needs d.mu to exit a
+// running attempt).
+func (d *Disk) stopCheckpointer() {
+	d.ckptOnce.Do(func() { close(d.ckptStop) })
+	d.ckptWG.Wait()
+}
+
+// Checkpoint performs one synchronous fuzzy checkpoint attempt: capture,
+// checkpoint file (tmp → sync → rename), durable WAL marker, segment
+// retirement. Safe to call while commits are running; must not race
+// Close. Counts CheckpointFailures on error. The background loop calls
+// this with retry + backoff; tests and operators may call it directly.
+func (d *Disk) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if err := d.checkpointOnce(); err != nil {
+		d.ckptFailures.Add(1)
+		return err
+	}
+	d.checkpoints.Add(1)
+	return nil
+}
+
+func (d *Disk) checkpointOnce() error {
+	// Step 1: fuzzy capture under d.mu. The anchor (aseq, aoff) names the
+	// exact log position the copied state equals; everything the store
+	// appends after the unlock lands at or beyond it and will be replayed
+	// by recovery on top of the checkpoint.
+	d.mu.Lock()
+	if d.err != nil {
+		err := d.err
+		d.mu.Unlock()
+		return err
+	}
+	if d.active == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: checkpoint before Reset/OpenDisk")
+	}
+	gen := d.ckptGen
+	aseq := d.seq
+	aoff := d.activeBytes
+	d.ckptSeq++
+	cseq := d.ckptSeq
+	table := make(map[core.Var]core.Value, len(d.table))
+	for v, val := range d.table {
+		table[v] = val
+	}
+	var liveTx []int
+	var liveChains [][]diskUndo
+	if !d.buffered {
+		// Live eager transactions have updates in the table (and possibly
+		// only in retired segments); their undo chains ride along so the
+		// checkpoint alone can revert them. Buffered transactions keep
+		// uncommitted writes out of both table and log — nothing to carry.
+		for tx, c := range d.ctx {
+			if len(c.undo) > 0 {
+				liveTx = append(liveTx, tx)
+				liveChains = append(liveChains, append([]diskUndo(nil), c.undo...))
+			}
+		}
+	}
+	d.sinceCkpt = 0
+	d.mu.Unlock()
+
+	// Step 2: write the checkpoint file off-mutex, tmp → sync → rename.
+	// Separate frames per record keep the fault injector's granularity:
+	// every write is its own crash point. d.enc belongs to the append path
+	// (under mu); this uses its own encoder.
+	var enc walEncoder
+	tmp := segPath(d.dir, ckptName(cseq)+ckptTmpExt)
+	f, err := d.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint create: %w", err)
+	}
+	written := int64(0)
+	write := func(frame []byte) error {
+		n, werr := f.Write(frame)
+		written += int64(n)
+		return werr
+	}
+	werr := write(enc.encodeCkpt(cseq, aseq, aoff))
+	if werr == nil {
+		db := make(core.DB, len(table))
+		for v, val := range table {
+			db[v] = val
+		}
+		werr = write(enc.encodeSnapshot(db))
+	}
+	for i := 0; werr == nil && i < len(liveTx); i++ {
+		for _, u := range liveChains[i] {
+			if werr = write(enc.encodeUpdate(liveTx[i], u.v, u.old, table[u.v], u.existed)); werr != nil {
+				break
+			}
+		}
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	f.Close()
+	d.ckptBytes.Add(written)
+	if werr != nil {
+		return fmt.Errorf("storage: checkpoint write: %w", werr)
+	}
+	d.fsyncs.Add(1)
+	if err := d.fs.Rename(tmp, segPath(d.dir, ckptName(cseq))); err != nil {
+		return fmt.Errorf("storage: checkpoint rename: %w", err)
+	}
+
+	// Step 3: durable marker in the WAL. A failure here is a real append
+	// failure — appendLocked/syncLocked poison the store and the sticky
+	// error stops everything, this checkpoint included. A Reset since the
+	// capture (generation bump) abandons the checkpoint: its file refers
+	// to a discarded incarnation and must never gate that log's segments.
+	d.mu.Lock()
+	if d.err != nil || d.ckptGen != gen {
+		err := d.err
+		d.mu.Unlock()
+		return err // nil when merely superseded by Reset: not a failure
+	}
+	if err := d.appendLocked(d.enc.encodeCkpt(cseq, aseq, aoff)); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := d.syncLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+
+	// Step 4: retire. Only now — marker durably synced — may segments
+	// wholly behind the anchor disappear. Close their handles first, under
+	// syncMu: a concurrent GroupSync may still be fsyncing a captured
+	// handle that rolled into sealed, and syncMu excludes it.
+	d.syncMu.Lock()
+	d.mu.Lock()
+	if d.err != nil || d.ckptGen != gen {
+		err := d.err
+		d.mu.Unlock()
+		d.syncMu.Unlock()
+		return err // poisoned stores perform no unlinks; superseded is nil
+	}
+	keep := d.sealed[:0]
+	for _, s := range d.sealed {
+		if s.seq < aseq {
+			s.f.Close()
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	d.sealed = keep
+	d.mu.Unlock()
+	d.syncMu.Unlock()
+
+	names, err := d.fs.List(d.dir)
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint retire list: %w", err)
+	}
+	for _, n := range names {
+		var seq int
+		switch {
+		case strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".wal"):
+			if _, err := fmt.Sscanf(n, "seg-%d.wal", &seq); err != nil || seq >= aseq {
+				continue // the anchor segment and everything after must stay
+			}
+			if err := d.fs.Remove(segPath(d.dir, n)); err != nil {
+				return fmt.Errorf("storage: checkpoint retire %s: %w", n, err)
+			}
+			d.segsRetired.Add(1)
+		case strings.HasPrefix(n, ckptPrefix):
+			// GC superseded checkpoints (and stale .tmp leftovers of failed
+			// attempts); best-effort — recovery picks the newest valid one
+			// regardless, and the compaction at OpenDisk sweeps stragglers.
+			trimmed := strings.TrimSuffix(n, ckptTmpExt)
+			if _, err := fmt.Sscanf(trimmed, "ckpt-%d.ckpt", &seq); err == nil &&
+				(seq < cseq || (n != trimmed && seq <= cseq)) {
+				d.fs.Remove(segPath(d.dir, n))
+			}
+		}
+	}
+	return nil
+}

@@ -64,7 +64,8 @@ type GroupSyncer interface {
 }
 
 // DurabilityStats are the durable backend's counters, surfaced into
-// sim.Metrics (Fsyncs, WALBytes, RecoveryNs) and the E13 tables.
+// sim.Metrics (Fsyncs, WALBytes, RecoveryNs, checkpoint counters) and the
+// E13/E14 tables.
 type DurabilityStats struct {
 	// Fsyncs counts successful syncs of the log.
 	Fsyncs int64
@@ -77,6 +78,24 @@ type DurabilityStats struct {
 	SyncFailures int64
 	// RecoveryNs is the wall time of the last OpenDisk replay.
 	RecoveryNs int64
+	// RecoveryBytes counts the checkpoint + log bytes the last OpenDisk
+	// actually replayed — with checkpointing this is log-since-checkpoint,
+	// not log-since-birth.
+	RecoveryBytes int64
+	// Checkpoints counts completed fuzzy checkpoints (checkpoint.go).
+	Checkpoints int64
+	// CheckpointFailures counts failed checkpoint attempts (each retried
+	// with backoff until CheckpointerOff).
+	CheckpointFailures int64
+	// CheckpointBytes counts bytes written to checkpoint files.
+	CheckpointBytes int64
+	// SegmentsRetired counts sealed segments unlinked behind a durable
+	// checkpoint marker.
+	SegmentsRetired int64
+	// CheckpointerOff is the graceful-degradation health flag: true once
+	// persistent checkpoint failures disabled the checkpointer. The commit
+	// path is unaffected; the log simply stops being retired.
+	CheckpointerOff bool
 }
 
 // DurableBackend is the optional durability extension of Backend: a store
@@ -148,32 +167,62 @@ type Disk struct {
 	buffered bool
 	segBytes int64
 
-	// syncMu serializes the off-mutex fsyncs of GroupSync. Lock order:
-	// syncMu before mu, never the reverse (appendLocked runs under mu and
-	// must not touch syncMu).
+	// ckptMu serializes whole checkpoints: the background loop and explicit
+	// Checkpoint calls never interleave their capture/write/retire phases.
+	// Lock order: ckptMu before syncMu before mu.
+	ckptMu sync.Mutex
+
+	// syncMu serializes the off-mutex fsyncs of GroupSync and excludes them
+	// from checkpoint retirement (which closes sealed handles under it).
+	// Lock order: syncMu before mu, never the reverse (appendLocked runs
+	// under mu and must not touch syncMu).
 	syncMu sync.Mutex
 
 	mu     sync.Mutex
 	table  map[core.Var]core.Value
 	ctx    map[int]*diskCtx
 	enc    walEncoder
-	seq    int    // active segment number
-	active File   // active segment, nil before Reset/OpenDisk
-	sealed []File // rolled segments, kept open until Close (a
-	// concurrent GroupSync may hold a captured handle mid-fsync; closing
-	// it under the roll would race the sync)
-	activeBytes int64 // bytes appended to the active segment
-	dirty       bool  // appended since the last successful sync
-	err         error // sticky durability error
+	seq    int         // active segment number
+	active File        // active segment, nil before Reset/OpenDisk
+	sealed []sealedSeg // rolled segments, kept open until Close or
+	// retirement (a concurrent GroupSync may hold a captured handle
+	// mid-fsync; closing it under the roll would race the sync — retirement
+	// closes them under syncMu, which excludes any in-flight group fsync)
+	activeBytes int64    // bytes appended to the active segment
+	dirty       bool     // appended since the last successful sync
+	err         error    // sticky durability error
+	lock        *os.File // exclusive data-dir lock (flock), nil once released
 
-	fsyncs       atomic.Int64
-	walBytes     atomic.Int64
-	walTruncated atomic.Int64
-	syncFailures atomic.Int64
-	recoveryNs   atomic.Int64
-	reads        atomic.Int64
-	writes       atomic.Int64
-	rollbacks    atomic.Int64
+	// Checkpointer state (checkpoint.go), all under mu.
+	ckptThresh int64 // WAL bytes between checkpoints (0 = no background loop)
+	sinceCkpt  int64 // bytes appended since the last checkpoint capture
+	ckptSeq    int   // last checkpoint file number written
+	ckptGen    int64 // bumped by Reset; abandons in-flight checkpoints
+	ckptOff    bool  // disabled after persistent failures (health flag)
+	ckptStop   chan struct{}
+	ckptKick   chan struct{}
+	ckptWG     sync.WaitGroup
+	ckptOnce   sync.Once // stops the background loop exactly once
+
+	fsyncs        atomic.Int64
+	walBytes      atomic.Int64
+	walTruncated  atomic.Int64
+	syncFailures  atomic.Int64
+	recoveryNs    atomic.Int64
+	recoveryBytes atomic.Int64
+	checkpoints   atomic.Int64
+	ckptFailures  atomic.Int64
+	ckptBytes     atomic.Int64
+	segsRetired   atomic.Int64
+	reads         atomic.Int64
+	writes        atomic.Int64
+	rollbacks     atomic.Int64
+}
+
+// sealedSeg is a rolled segment kept open until Close or retirement.
+type sealedSeg struct {
+	seq int
+	f   File
 }
 
 var _ DurableBackend = (*Disk)(nil)
@@ -201,19 +250,38 @@ func NewDisk(cfg Config) (*Disk, error) {
 	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("storage: disk dir %s: %w", dir, err)
 	}
+	// Double-open protection: two live writers on one WAL is silent
+	// corruption, so the data dir is guarded by an exclusive flock taken
+	// for the store's lifetime. Released by Close — and by the sticky
+	// error that poisons a store (poisonLocked), since a poisoned store
+	// never writes the log again, exactly like the dead process whose lock
+	// the kernel would release.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
 	segBytes := int64(cfg.SegmentBytes)
 	if segBytes <= 0 {
 		segBytes = defaultSegmentBytes
 	}
-	return &Disk{
-		fs:       fs,
-		dir:      dir,
-		policy:   cfg.Fsync,
-		buffered: cfg.Buffered,
-		segBytes: segBytes,
-		table:    make(map[core.Var]core.Value),
-		ctx:      make(map[int]*diskCtx),
-	}, nil
+	d := &Disk{
+		fs:         fs,
+		dir:        dir,
+		policy:     cfg.Fsync,
+		buffered:   cfg.Buffered,
+		segBytes:   segBytes,
+		lock:       lock,
+		ckptThresh: int64(cfg.CheckpointBytes),
+		ckptStop:   make(chan struct{}),
+		ckptKick:   make(chan struct{}, 1),
+		table:      make(map[core.Var]core.Value),
+		ctx:        make(map[int]*diskCtx),
+	}
+	if d.ckptThresh > 0 {
+		d.ckptWG.Add(1)
+		go d.checkpointLoop()
+	}
+	return d, nil
 }
 
 // Name implements Backend.
@@ -231,6 +299,21 @@ func (d *Disk) Dir() string { return d.dir }
 // order.
 func segName(seq int) string { return fmt.Sprintf("seg-%08d.wal", seq) }
 
+// poisonLocked records the sticky durability error (first one wins) and
+// releases the data-dir lock: a poisoned store never writes the log again
+// — every subsequent append, sync, checkpoint and retirement refuses — so
+// giving up the exclusive lock mirrors the dead process whose flock the
+// kernel releases, and lets a fresh OpenDisk recover the directory.
+func (d *Disk) poisonLocked(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	if d.lock != nil {
+		d.lock.Close()
+		d.lock = nil
+	}
+}
+
 // Reset implements Backend: discard every segment, load init as the new
 // database, and persist it as a snapshot record opening a fresh log. The
 // snapshot is synced before Reset returns so the baseline itself is
@@ -241,12 +324,15 @@ func (d *Disk) Reset(init core.DB) {
 	d.closeSegmentsLocked()
 	names, err := d.fs.List(d.dir)
 	if err != nil {
-		d.err = err
+		d.poisonLocked(err)
 		return
 	}
 	for _, n := range names {
+		if n == lockFileName {
+			continue // unlinking our own flock would let a second writer in
+		}
 		if err := d.fs.Remove(segPath(d.dir, n)); err != nil {
-			d.err = err
+			d.poisonLocked(err)
 			return
 		}
 	}
@@ -259,9 +345,17 @@ func (d *Disk) Reset(init core.DB) {
 	d.seq = 1
 	d.activeBytes = 0
 	d.dirty = false
+	d.ckptGen++ // abandon any in-flight checkpoint of the old incarnation
+	d.ckptSeq = 0
+	d.sinceCkpt = 0
+	d.ckptOff = false
 	d.fsyncs.Store(0)
 	d.walBytes.Store(0)
 	d.syncFailures.Store(0)
+	d.checkpoints.Store(0)
+	d.ckptFailures.Store(0)
+	d.ckptBytes.Store(0)
+	d.segsRetired.Store(0)
 	d.reads.Store(0)
 	d.writes.Store(0)
 	d.rollbacks.Store(0)
@@ -269,7 +363,7 @@ func (d *Disk) Reset(init core.DB) {
 	// that produced this store, which a Reset does not re-do.
 	f, err := d.fs.Create(segPath(d.dir, segName(d.seq)))
 	if err != nil {
-		d.err = err
+		d.poisonLocked(err)
 		return
 	}
 	d.active = f
@@ -294,16 +388,16 @@ func (d *Disk) appendLocked(frame []byte) error {
 	if d.activeBytes >= d.segBytes {
 		// Seal the active segment: sync it so only the newest segment can
 		// ever hold a torn tail, then start the next one. The sealed file
-		// stays open until Close — a concurrent GroupSync may be fsyncing
-		// a captured handle to it right now.
+		// stays open until Close or checkpoint retirement — a concurrent
+		// GroupSync may be fsyncing a captured handle to it right now.
 		if err := d.syncLocked(); err != nil {
 			return err
 		}
-		d.sealed = append(d.sealed, d.active)
+		d.sealed = append(d.sealed, sealedSeg{seq: d.seq, f: d.active})
 		d.seq++
 		f, err := d.fs.Create(segPath(d.dir, segName(d.seq)))
 		if err != nil {
-			d.err = err
+			d.poisonLocked(err)
 			return err
 		}
 		d.active = f
@@ -316,8 +410,15 @@ func (d *Disk) appendLocked(frame []byte) error {
 		d.dirty = true
 	}
 	if err != nil {
-		d.err = err
+		d.poisonLocked(err)
 		return err
+	}
+	d.sinceCkpt += int64(n)
+	if d.ckptThresh > 0 && d.sinceCkpt >= d.ckptThresh && !d.ckptOff {
+		select { // wake the checkpointer; a pending kick already covers us
+		case d.ckptKick <- struct{}{}:
+		default:
+		}
 	}
 	return nil
 }
@@ -333,7 +434,7 @@ func (d *Disk) syncLocked() error {
 	}
 	if err := d.active.Sync(); err != nil {
 		d.syncFailures.Add(1)
-		d.err = err
+		d.poisonLocked(err)
 		return err
 	}
 	d.dirty = false
@@ -528,9 +629,7 @@ func (d *Disk) GroupSync() error {
 	if err := f.Sync(); err != nil {
 		d.syncFailures.Add(1)
 		d.mu.Lock()
-		if d.err == nil {
-			d.err = err
-		}
+		d.poisonLocked(err)
 		d.mu.Unlock()
 		return err
 	}
@@ -559,16 +658,24 @@ func (d *Disk) closeSegmentsLocked() {
 		d.active.Close()
 		d.active = nil
 	}
-	for _, f := range d.sealed {
-		f.Close()
+	for _, s := range d.sealed {
+		s.f.Close()
 	}
 	d.sealed = nil
 }
 
-// Close syncs and closes every open segment. The store must be quiescent.
+// Close syncs and closes every open segment and releases the data-dir
+// lock. The store must be quiescent. The background checkpointer is
+// stopped (and any in-flight checkpoint drained) before the segments go
+// away, so Close never races a checkpoint.
 func (d *Disk) Close() error {
+	d.stopCheckpointer()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.lock != nil {
+		d.lock.Close()
+		d.lock = nil
+	}
 	if d.active == nil {
 		return d.err
 	}
@@ -585,12 +692,21 @@ func (d *Disk) Destroy() error {
 
 // DurabilityStats implements DurableBackend.
 func (d *Disk) DurabilityStats() DurabilityStats {
+	d.mu.Lock()
+	off := d.ckptOff
+	d.mu.Unlock()
 	return DurabilityStats{
-		Fsyncs:       d.fsyncs.Load(),
-		WALBytes:     d.walBytes.Load(),
-		WALTruncated: d.walTruncated.Load(),
-		SyncFailures: d.syncFailures.Load(),
-		RecoveryNs:   d.recoveryNs.Load(),
+		Fsyncs:             d.fsyncs.Load(),
+		WALBytes:           d.walBytes.Load(),
+		WALTruncated:       d.walTruncated.Load(),
+		SyncFailures:       d.syncFailures.Load(),
+		RecoveryNs:         d.recoveryNs.Load(),
+		RecoveryBytes:      d.recoveryBytes.Load(),
+		Checkpoints:        d.checkpoints.Load(),
+		CheckpointFailures: d.ckptFailures.Load(),
+		CheckpointBytes:    d.ckptBytes.Load(),
+		SegmentsRetired:    d.segsRetired.Load(),
+		CheckpointerOff:    off,
 	}
 }
 

@@ -87,14 +87,19 @@ var (
 )
 
 // ErrFS wraps an FS and injects faults at chosen operation indices. The
-// operations it counts and can fail are the data-plane ones recovery
-// depends on — Write and Sync — numbered from 1 in call order across all
-// files. The catalogue of injection points (DESIGN.md "Durability"):
+// operations it counts and can fail are the ones the durability protocols
+// depend on — Write, Sync, Rename and Remove — numbered from 1 in call
+// order across all files. (Rename and Remove joined the catalogue with the
+// checkpointer: its tmp→rename publish and its segment unlinks are
+// protocol steps a crash must be able to interrupt, exactly like a torn
+// commit append.) The catalogue of injection points (DESIGN.md
+// "Durability"):
 //
 //   - FailAt(n): operation n returns ErrInjected once; later operations
 //     succeed. Models a transient I/O error.
 //   - ShortWriteAt(n): write n persists only the first half of its buffer,
-//     then returns ErrInjected (a torn write); a Sync at n just fails.
+//     then returns ErrInjected (a torn write); a Sync, Rename or Remove at
+//     n just fails.
 //   - CrashAt(n): operation n writes a partial prefix (if a write) and
 //     fails with ErrCrashed, as does everything after it. Models power
 //     loss mid-operation: the prefix may be on disk, the tail is not.
@@ -128,8 +133,8 @@ func (e *ErrFS) ShortWriteAt(n int64) { e.mu.Lock(); e.shortAt = n; e.mu.Unlock(
 // and every later one fail with ErrCrashed.
 func (e *ErrFS) CrashAt(n int64) { e.mu.Lock(); e.crashAt = n; e.mu.Unlock() }
 
-// Ops returns the number of countable operations (writes and syncs)
-// performed so far.
+// Ops returns the number of countable operations (writes, syncs, renames
+// and removes) performed so far.
 func (e *ErrFS) Ops() int64 { e.mu.Lock(); defer e.mu.Unlock(); return e.ops }
 
 // Crashed reports whether a crash point has been reached.
@@ -165,8 +170,8 @@ func (e *ErrFS) op() faultKind {
 	return faultNone
 }
 
-// metaOK gates the control-plane operations (create/rename/remove/read):
-// they are not counted as injection points, but once crashed they fail too.
+// metaOK gates the control-plane operations (create/list/read): they are
+// not counted as injection points, but once crashed they fail too.
 func (e *ErrFS) metaOK() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -206,15 +211,21 @@ func (e *ErrFS) ReadFile(name string) ([]byte, error) {
 }
 
 func (e *ErrFS) Rename(oldname, newname string) error {
-	if err := e.metaOK(); err != nil {
-		return err
+	switch e.op() {
+	case faultCrash:
+		return ErrCrashed
+	case faultFail, faultShort:
+		return ErrInjected
 	}
 	return e.inner.Rename(oldname, newname)
 }
 
 func (e *ErrFS) Remove(name string) error {
-	if err := e.metaOK(); err != nil {
-		return err
+	switch e.op() {
+	case faultCrash:
+		return ErrCrashed
+	case faultFail, faultShort:
+		return ErrInjected
 	}
 	return e.inner.Remove(name)
 }

@@ -133,6 +133,15 @@ type Config struct {
 	// SegmentBytes seals the active log segment past this size
 	// (0 = 1 MiB).
 	SegmentBytes int
+	// CheckpointBytes arms the online fuzzy checkpointer (checkpoint.go):
+	// once this many bytes have been appended to the WAL since the last
+	// checkpoint, a background goroutine snapshots the store to a
+	// checkpoint file, records a marker in the log and retires every
+	// sealed segment behind the anchor, bounding the on-disk footprint and
+	// recovery time of a long-running store. 0 (the default) disables the
+	// background checkpointer; Disk.Checkpoint can still be called
+	// explicitly.
+	CheckpointBytes int
 	// FS is the filesystem the disk backend writes through (nil = the
 	// real one). Tests inject faults by supplying an ErrFS.
 	FS FS

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+const lockFileName = "LOCK"
+
+// lockDir is a no-op on platforms without flock: double-open protection
+// is advisory and unix-only; the rest of the backend works unchanged.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,34 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the exclusive data-dir lock the disk backend holds for
+// its lifetime. It lives beside the segments but is invisible to them:
+// Reset skips it, recovery and retirement only ever touch seg-*/ckpt-*
+// names.
+const lockFileName = "LOCK"
+
+// lockDir takes the exclusive advisory lock on dir's LOCK file. Two live
+// disk backends on one WAL directory would silently corrupt each other
+// (interleaved appends, double recovery), so the second opener fails fast
+// here. The lock goes through the real filesystem deliberately — flock is
+// a kernel facility, not an FS-interface operation, and fault injection
+// (ErrFS) has no business tearing it.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: lock file in %s: %w", dir, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: data dir %s is locked by another live disk backend (close it or let it die first): %w", dir, err)
+	}
+	return f, nil
+}

@@ -9,90 +9,169 @@ import (
 	"optcc/internal/core"
 )
 
-// OpenDisk recovers a disk backend from the segments in cfg.Dir, ARIES
-// style restricted to what this log needs:
+// OpenDisk recovers a disk backend from the files in cfg.Dir, ARIES style
+// restricted to what this log needs:
 //
-//  1. Redo by history: replay every valid record of every segment in
-//     order. Snapshot records reset the state; update records apply their
-//     redo value and join their transaction's undo chain; commit records
-//     apply a buffered write set (if any) and retire the chain; abort
-//     records undo the chain in reverse.
-//  2. Stop at the torn tail: the first incomplete frame, checksum
+//  1. Start from the newest complete checkpoint, if any (checkpoint.go):
+//     its snapshot record seeds the table and its update records seed the
+//     undo chains of the transactions that were live at the capture. A
+//     torn or incomplete checkpoint file — one whose scan is unclean or
+//     whose anchor segment is gone — is ignored and an older one (or the
+//     empty state) is used instead; checkpoint files share the WAL's
+//     framing and checksums precisely so this judgment is mechanical.
+//  2. Redo by history from the checkpoint's anchor — byte aoff of segment
+//     aseq, then every later segment in order; without a checkpoint, from
+//     the start of the oldest segment. Snapshot records reset the state;
+//     update records apply their redo value and join their transaction's
+//     undo chain; commit records apply a buffered write set (if any) and
+//     retire the chain; abort records undo the chain in reverse;
+//     checkpoint markers carry no state and are skipped. Segments wholly
+//     behind the anchor are leftovers of an interrupted retirement —
+//     their effects are inside the checkpoint — and are not replayed.
+//  3. Stop at the torn tail: the first incomplete frame, checksum
 //     mismatch, or undecodable payload ends the trusted prefix — that
 //     record and everything after it (including any later segments) is
 //     discarded and counted in WALTruncated. A torn commit record is
 //     therefore never admitted: its transaction is a loser.
-//  3. Undo the losers: transactions with a live undo chain at the end of
+//  4. Undo the losers: transactions with a live undo chain at the end of
 //     the log never committed; their updates are reverted in reverse
 //     order. (Eager updates come only from strict schedulers, so live
 //     transactions never share a variable and per-transaction reverse
-//     undo is exact.) Buffered transactions need no undo — their writes
-//     only ever reach the log inside a commit record.
+//     undo is exact.) A chain seeded from the checkpoint undoes the same
+//     way even though its update records may live in retired segments —
+//     that is why checkpoints carry live chains. Buffered transactions
+//     need no undo: their writes only ever reach the log inside a commit
+//     record.
 //
 // The recovered state is then compacted: one snapshot record is written
 // to a fresh segment (via temp file + atomic rename, so a crash during
-// recovery is itself recoverable), the old segments are removed, and a
-// new active segment is opened. A second OpenDisk on the result is
-// therefore clean — recovery converges in one pass, which the torture
-// harness asserts as "converges in ≤2".
+// recovery is itself recoverable), every pre-existing segment, checkpoint
+// and temp file is removed, and a new active segment is opened. A second
+// OpenDisk on the result is therefore clean — recovery converges in one
+// pass, which the torture harness asserts as "converges in ≤2".
 //
 // The invariant this buys (DESIGN.md "Durability"): after a crash, the
 // recovered state equals the serial replay of exactly the transactions
 // whose commit records are on the synced prefix of the log — every synced
-// commit survives, no uncommitted write is visible.
+// commit survives, no uncommitted write is visible. Checkpoints only ever
+// widen the durable set (a checkpoint may preserve a commit that was
+// appended but not yet synced when captured), never shrink it: nothing is
+// unlinked before the covering marker is synced durable.
+//
+// RecoveryBytes reports how much this open actually read back — checkpoint
+// plus replayed tail. With checkpointing that is log-since-checkpoint, not
+// log-since-birth, which is the whole point: it is the deterministic proxy
+// the bounded-recovery tests assert on.
 func OpenDisk(cfg Config) (*Disk, error) {
 	start := time.Now()
 	d, err := NewDisk(cfg)
 	if err != nil {
 		return nil, err
 	}
+	fail := func(err error) (*Disk, error) {
+		d.Close() // stop the checkpointer, release the dir lock
+		return nil, err
+	}
 	names, err := d.fs.List(d.dir)
 	if err != nil {
-		return nil, fmt.Errorf("storage: recovery list %s: %w", d.dir, err)
+		return fail(fmt.Errorf("storage: recovery list %s: %w", d.dir, err))
 	}
-	var segs []string
+	var segs, ckpts []string
+	segSeq := make(map[string]int)
+	hasSeg := make(map[int]bool)
 	maxSeq := 0
 	for _, n := range names {
-		if !strings.HasPrefix(n, "seg-") || !strings.HasSuffix(n, ".wal") {
-			continue // leftovers (e.g. a .tmp from a crashed compaction)
+		switch {
+		case strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".wal"):
+			var seq int
+			if _, err := fmt.Sscanf(n, "seg-%d.wal", &seq); err != nil {
+				continue
+			}
+			segs = append(segs, n)
+			segSeq[n] = seq
+			hasSeg[seq] = true
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		case strings.HasPrefix(n, ckptPrefix) && strings.HasSuffix(n, ckptSuffix):
+			ckpts = append(ckpts, n)
 		}
-		segs = append(segs, n)
-		var seq int
-		if _, err := fmt.Sscanf(n, "seg-%d.wal", &seq); err == nil && seq > maxSeq {
-			maxSeq = seq
-		}
+		// Anything else — .tmp leftovers of a crashed checkpoint or
+		// compaction, the LOCK file — carries no recoverable state; the
+		// compaction sweep below disposes of the leftovers.
 	}
 	sort.Strings(segs)
+	sort.Strings(ckpts)
+
+	// Newest usable checkpoint wins. The anchor segment must still exist:
+	// only a newer checkpoint's retirement removes it, and that newer
+	// checkpoint is tried first, so a missing anchor marks a stale or
+	// foreign file, not a protocol state.
+	var img *ckptImage
+	for i := len(ckpts) - 1; i >= 0 && img == nil; i-- {
+		if c, ok := loadCheckpoint(d.fs, d.dir, ckpts[i]); ok && hasSeg[c.aseq] {
+			img = c
+		}
+	}
 
 	table := make(map[core.Var]core.Value)
-	live := make(map[int][]diskUndo) // eager updates of not-yet-ended txs
+	live := make(map[int][]diskUndo) // undo chains of not-yet-ended eager txs
 	truncated := false
-	for _, name := range segs {
+	replayed := int64(0)
+	apply := func(r walRec) {
+		switch r.kind {
+		case walSnapshot:
+			table = make(map[core.Var]core.Value, len(r.writes))
+			for _, w := range r.writes {
+				table[w.v] = w.val
+			}
+			live = make(map[int][]diskUndo)
+		case walUpdate:
+			live[r.tx] = append(live[r.tx], diskUndo{v: r.v, old: r.old, existed: r.existed})
+			table[r.v] = r.new
+		case walCommit:
+			for _, w := range r.writes {
+				table[w.v] = w.val
+			}
+			delete(live, r.tx)
+		case walAbort:
+			undoChain(table, live[r.tx])
+			delete(live, r.tx)
+		case walCkpt:
+			// Markers gate retirement; they carry no state to replay.
+		}
+	}
+
+	tail := segs
+	if img != nil {
+		table, live = img.table, img.live
+		replayed += int64(img.bytes)
+		tail = tail[:0:0]
+		for _, n := range segs {
+			if segSeq[n] >= img.aseq {
+				tail = append(tail, n)
+			}
+		}
+	}
+	for i, name := range tail {
 		data, err := d.fs.ReadFile(segPath(d.dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("storage: recovery read %s: %w", name, err)
+			return fail(fmt.Errorf("storage: recovery read %s: %w", name, err))
 		}
-		_, clean := walScan(data, func(r walRec) {
-			switch r.kind {
-			case walSnapshot:
-				table = make(map[core.Var]core.Value, len(r.writes))
-				for _, w := range r.writes {
-					table[w.v] = w.val
-				}
-				live = make(map[int][]diskUndo)
-			case walUpdate:
-				live[r.tx] = append(live[r.tx], diskUndo{v: r.v, old: r.old, existed: r.existed})
-				table[r.v] = r.new
-			case walCommit:
-				for _, w := range r.writes {
-					table[w.v] = w.val
-				}
-				delete(live, r.tx)
-			case walAbort:
-				undoChain(table, live[r.tx])
-				delete(live, r.tx)
+		if img != nil && i == 0 {
+			// The anchor segment's prefix [0, aoff) is inside the checkpoint
+			// already; replay resumes at the anchor. A file shorter than the
+			// anchor means the unsynced pre-anchor tail was lost to real
+			// power loss before the marker sync made it durable — nothing
+			// past the checkpoint can be trusted then.
+			if int64(len(data)) < img.aoff {
+				truncated = true
+				break
 			}
-		})
+			data = data[img.aoff:]
+		}
+		valid, clean := walScan(data, apply)
+		replayed += int64(valid)
 		if !clean {
 			truncated = true
 			break // later segments are beyond the torn tail: discard
@@ -102,16 +181,16 @@ func OpenDisk(cfg Config) (*Disk, error) {
 		undoChain(table, chain)
 	}
 
-	// Compact: persist the recovered state as a snapshot segment, drop the
-	// replayed log, open a fresh active segment. Written under temp name
-	// then renamed, so every intermediate crash state re-recovers to the
-	// same database.
+	// Compact: persist the recovered state as a snapshot segment, drop
+	// every replayed or superseded file, open a fresh active segment.
+	// Written under temp name then renamed, so every intermediate crash
+	// state re-recovers to the same database.
 	snapSeq := maxSeq + 1
 	snapName := segName(snapSeq)
 	tmpName := snapName + ".tmp"
 	f, err := d.fs.Create(segPath(d.dir, tmpName))
 	if err != nil {
-		return nil, fmt.Errorf("storage: recovery snapshot: %w", err)
+		return fail(fmt.Errorf("storage: recovery snapshot: %w", err))
 	}
 	db := make(core.DB, len(table))
 	for v, val := range table {
@@ -120,27 +199,30 @@ func OpenDisk(cfg Config) (*Disk, error) {
 	frame := d.enc.encodeSnapshot(db)
 	if _, err := f.Write(frame); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("storage: recovery snapshot write: %w", err)
+		return fail(fmt.Errorf("storage: recovery snapshot write: %w", err))
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("storage: recovery snapshot sync: %w", err)
+		return fail(fmt.Errorf("storage: recovery snapshot sync: %w", err))
 	}
 	f.Close()
 	d.fsyncs.Add(1)
 	d.walBytes.Add(int64(len(frame)))
 	if err := d.fs.Rename(segPath(d.dir, tmpName), segPath(d.dir, snapName)); err != nil {
-		return nil, fmt.Errorf("storage: recovery snapshot rename: %w", err)
+		return fail(fmt.Errorf("storage: recovery snapshot rename: %w", err))
 	}
-	for _, name := range segs {
+	for _, name := range names {
+		if name == lockFileName {
+			continue
+		}
 		if err := d.fs.Remove(segPath(d.dir, name)); err != nil {
-			return nil, fmt.Errorf("storage: recovery compact: %w", err)
+			return fail(fmt.Errorf("storage: recovery compact: %w", err))
 		}
 	}
 	d.seq = snapSeq + 1
 	active, err := d.fs.Create(segPath(d.dir, segName(d.seq)))
 	if err != nil {
-		return nil, fmt.Errorf("storage: recovery open active: %w", err)
+		return fail(fmt.Errorf("storage: recovery open active: %w", err))
 	}
 	d.active = active
 	d.activeBytes = 0
@@ -148,8 +230,72 @@ func OpenDisk(cfg Config) (*Disk, error) {
 	if truncated {
 		d.walTruncated.Add(1)
 	}
+	d.recoveryBytes.Store(replayed)
 	d.recoveryNs.Store(time.Since(start).Nanoseconds())
 	return d, nil
+}
+
+// ckptImage is a decoded checkpoint file: the captured table, the undo
+// chains of the transactions live at the capture, and the log anchor the
+// capture equals.
+type ckptImage struct {
+	table map[core.Var]core.Value
+	live  map[int][]diskUndo
+	aseq  int
+	aoff  int64
+	bytes int
+}
+
+// loadCheckpoint reads and validates one checkpoint file: a clean scan
+// whose first record is the walCkpt header, followed by exactly one
+// snapshot and any number of live-chain update records. Anything else —
+// torn tail, wrong shape, unreadable — disqualifies the file; recovery
+// falls back to an older checkpoint or a full replay.
+func loadCheckpoint(fs FS, dir, name string) (*ckptImage, bool) {
+	data, err := fs.ReadFile(segPath(dir, name))
+	if err != nil {
+		return nil, false
+	}
+	img := &ckptImage{
+		table: make(map[core.Var]core.Value),
+		live:  make(map[int][]diskUndo),
+	}
+	first, sawSnap, wellFormed := true, false, true
+	valid, clean := walScan(data, func(r walRec) {
+		if first {
+			first = false
+			if r.kind != walCkpt {
+				wellFormed = false
+				return
+			}
+			img.aseq, img.aoff = r.aseq, r.aoff
+			return
+		}
+		switch r.kind {
+		case walSnapshot:
+			if sawSnap {
+				wellFormed = false
+				return
+			}
+			sawSnap = true
+			for _, w := range r.writes {
+				img.table[w.v] = w.val
+			}
+		case walUpdate:
+			// Live-chain entries: the redo value is already in the snapshot
+			// (the capture copied the table last-writer-wins), so applying it
+			// is a no-op; what matters is rebuilding the undo chain.
+			img.live[r.tx] = append(img.live[r.tx], diskUndo{v: r.v, old: r.old, existed: r.existed})
+			img.table[r.v] = r.new
+		default:
+			wellFormed = false
+		}
+	})
+	if !clean || first || !sawSnap || !wellFormed {
+		return nil, false
+	}
+	img.bytes = valid
+	return img, true
 }
 
 // undoChain reverts one transaction's eager updates, newest first.

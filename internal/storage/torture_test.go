@@ -638,7 +638,16 @@ func TestTortureChild(t *testing.T) {
 		t.Skip("torture child body; driven by TestTortureKillRestart")
 	}
 	buffered := os.Getenv("OPTCC_TORTURE_BUFFERED") == "1"
-	d, err := OpenDisk(Config{Dir: dir, Fsync: FsyncAlways, Buffered: buffered})
+	cfg := Config{Dir: dir, Fsync: FsyncAlways, Buffered: buffered}
+	if os.Getenv("OPTCC_TORTURE_CKPT") == "1" {
+		// Tiny segments and an aggressive threshold keep the background
+		// checkpointer constantly mid-flight, so the parent's SIGKILL
+		// regularly lands inside an active checkpoint — capture, file write,
+		// rename, marker, retirement all get their turn under real death.
+		cfg.SegmentBytes = 2048
+		cfg.CheckpointBytes = 4096
+	}
+	d, err := OpenDisk(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "torture child: recover: %v\n", err)
 		os.Exit(3)
@@ -668,10 +677,12 @@ func TestTortureChild(t *testing.T) {
 // TestTortureKillRestart is the kill-and-restart torture driver: re-exec
 // this test binary as a child committing transactions with per-commit
 // fsyncs, SIGKILL it at a random point (sometimes mid-recovery — the
-// child recovers on startup), then recover here and assert the invariant:
-// the committed set is a gap-free prefix that never shrinks, every value
-// matches the serial replay, and recovery converges in ≤ 2 passes.
-// Execution mode alternates between eager and write-buffered per round.
+// child recovers on startup, and from round 1 on sometimes mid-checkpoint
+// — the child runs the background checkpointer on tiny segments), then
+// recover here and assert the invariant: the committed set is a gap-free
+// prefix that never shrinks, every value matches the serial replay, and
+// recovery converges in ≤ 2 passes. Execution mode alternates between
+// eager and write-buffered per round.
 func TestTortureKillRestart(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess torture loop; skipped with -short")
@@ -689,9 +700,14 @@ func TestTortureKillRestart(t *testing.T) {
 	prevMax := -1
 	const rounds = 5
 	for round := 0; round < rounds; round++ {
+		ckpt := 0
+		if round >= 1 { // round 0 is the checkpoint-free baseline
+			ckpt = 1
+		}
 		cmd := exec.Command(os.Args[0], "-test.run", "TestTortureChild$")
 		cmd.Env = append(os.Environ(), childEnvDir+"="+dir,
-			fmt.Sprintf("OPTCC_TORTURE_BUFFERED=%d", round%2))
+			fmt.Sprintf("OPTCC_TORTURE_BUFFERED=%d", round%2),
+			fmt.Sprintf("OPTCC_TORTURE_CKPT=%d", ckpt))
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
 		}

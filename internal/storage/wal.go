@@ -26,11 +26,18 @@ import (
 //	walAbort    tx                      abort point: undo tx's walUpdates
 //	walSnapshot n, (var, val)×n         full-state checkpoint; resets the
 //	                                    recovered state and clears live txs
+//	walCkpt     ckpt, aseq, aoff        fuzzy-checkpoint marker: checkpoint
+//	                                    file ckpt is complete and anchored at
+//	                                    byte aoff of segment aseq; every
+//	                                    segment < aseq is retirement-eligible.
+//	                                    Doubles as the header record inside
+//	                                    the checkpoint file itself.
 const (
 	walUpdate byte = iota + 1
 	walCommit
 	walAbort
 	walSnapshot
+	walCkpt
 )
 
 // walHeaderSize is the fixed frame prefix: length + checksum.
@@ -56,6 +63,9 @@ type walRec struct {
 	new     core.Value // walUpdate: redo value
 	existed bool       // walUpdate: v existed before (undo restores vs deletes)
 	writes  []walWrite // walCommit (buffered), walSnapshot
+	ckpt    int        // walCkpt: checkpoint file sequence number
+	aseq    int        // walCkpt: anchor segment
+	aoff    int64      // walCkpt: anchor byte offset within aseq
 }
 
 // walEncoder frames records into a reusable buffer. Not safe for
@@ -130,6 +140,19 @@ func (e *walEncoder) encodeAbort(tx int) []byte {
 	return e.seal()
 }
 
+// encodeCkpt frames a checkpoint marker: checkpoint file ckpt captures the
+// store as of byte aoff of segment aseq. Written to the WAL after the
+// checkpoint file is durably renamed, and as the header record of the
+// checkpoint file itself.
+func (e *walEncoder) encodeCkpt(ckpt, aseq int, aoff int64) []byte {
+	e.reset()
+	e.buf = append(e.buf, walCkpt)
+	e.putUvarint(uint64(ckpt))
+	e.putUvarint(uint64(aseq))
+	e.putUvarint(uint64(aoff))
+	return e.seal()
+}
+
 // encodeSnapshot frames a full-state checkpoint.
 func (e *walEncoder) encodeSnapshot(state core.DB) []byte {
 	e.reset()
@@ -170,6 +193,10 @@ func walDecode(payload []byte) (walRec, error) {
 		}
 	case walAbort:
 		r.tx = int(d.uvarint())
+	case walCkpt:
+		r.ckpt = int(d.uvarint())
+		r.aseq = int(d.uvarint())
+		r.aoff = int64(d.uvarint())
 	case walSnapshot:
 		n := d.uvarint()
 		if n > uint64(len(d.b)) {

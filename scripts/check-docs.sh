@@ -220,6 +220,34 @@ for a in lockorder hotpath recycle atomiconly gojoin; do
   fi
 done
 
+# The checkpointing surface must stay documented: experiment E14, the
+# -checkpoint flag on both binaries and DESIGN.md's Checkpointing section
+# covering the marker protocol and segment retirement.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'E14' "$doc"; then
+    echo "check-docs: $doc does not document experiment E14"
+    fail=1
+  fi
+  if ! grep -qe '-checkpoint' "$doc"; then
+    echo "check-docs: $doc does not document the -checkpoint flag"
+    fail=1
+  fi
+done
+for cmd in cmd/ccsim/main.go cmd/ccbench/main.go; do
+  if ! grep -q '"checkpoint"' "$cmd"; then
+    echo "check-docs: $cmd lost its -checkpoint flag"
+    fail=1
+  fi
+done
+if ! grep -q 'E14' internal/experiments/experiments.go; then
+  echo "check-docs: experiments registry lost E14"
+  fail=1
+fi
+if ! grep -q 'Checkpointing' DESIGN.md; then
+  echo "check-docs: DESIGN.md lost its Checkpointing section"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL"
   exit 1
