@@ -36,18 +36,27 @@ package storage
 // never sees it — and the background loop retries with exponential
 // backoff; after ckptMaxFailures consecutive failures the checkpointer
 // disables itself and surfaces CheckpointerOff, leaving commits correct
-// and fast (the log merely stops being retired). A fault in step 3 is a
+// and fast (the log merely stops being retired) — a later Reset clears the
+// flag and respawns the loop (disk.go), so the flag never claims a
+// checkpointer that does not exist. A fault in step 3 is a
 // real log-append failure and poisons the store like any other append —
 // at which point the checkpointer (like GroupSync) observes the sticky
 // error and stops cleanly, performing no further unlinks.
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"optcc/internal/core"
 )
+
+// errCkptSuperseded is returned by checkpointOnce when a Reset bumped the
+// generation after the capture: the attempt is abandoned — its file names a
+// discarded incarnation and must never gate the new log's segments — and it
+// counts neither as a completed checkpoint nor as a failure.
+var errCkptSuperseded = errors.New("storage: checkpoint superseded by Reset")
 
 const (
 	ckptPrefix = "ckpt-"
@@ -70,6 +79,9 @@ const ckptBackoffInitial = time.Millisecond
 // Config.CheckpointBytes: appendLocked kicks it when the bytes appended
 // since the last capture cross the threshold. Exits on Close, on a
 // poisoned store, or after persistent failures disable checkpointing.
+// Every exit clears ckptRunning in the same critical section as the state
+// that justifies it, so Reset's respawn decision (disk.go) never races a
+// dying loop into a flag-says-healthy-but-no-loop state.
 func (d *Disk) checkpointLoop() {
 	defer d.ckptWG.Done()
 	failures := 0
@@ -77,6 +89,7 @@ func (d *Disk) checkpointLoop() {
 	for {
 		select {
 		case <-d.ckptStop:
+			d.checkpointLoopExit()
 			return
 		case <-d.ckptKick:
 		}
@@ -86,17 +99,24 @@ func (d *Disk) checkpointLoop() {
 				failures, backoff = 0, ckptBackoffInitial
 				break
 			}
-			if d.Err() != nil {
-				return // sticky store error: stop cleanly, no more unlinks
-			}
-			if failures++; failures >= ckptMaxFailures {
-				d.mu.Lock()
-				d.ckptOff = true // health flag; commits continue unaffected
+			d.mu.Lock()
+			if d.err != nil {
+				// Sticky store error: stop cleanly, no more unlinks. A later
+				// Reset that revives the store respawns the loop.
+				d.ckptRunning = false
 				d.mu.Unlock()
 				return
 			}
+			if failures++; failures >= ckptMaxFailures {
+				d.ckptOff = true // health flag; commits continue unaffected
+				d.ckptRunning = false
+				d.mu.Unlock()
+				return
+			}
+			d.mu.Unlock()
 			select {
 			case <-d.ckptStop:
+				d.checkpointLoopExit()
 				return
 			case <-time.After(backoff):
 			}
@@ -105,11 +125,24 @@ func (d *Disk) checkpointLoop() {
 	}
 }
 
+// checkpointLoopExit marks the background loop dead under mu.
+func (d *Disk) checkpointLoopExit() {
+	d.mu.Lock()
+	d.ckptRunning = false
+	d.mu.Unlock()
+}
+
 // stopCheckpointer signals the background loop and waits for it — and any
 // in-flight checkpoint — to finish. Idempotent; called by Close before it
 // touches the segments, with no locks held (the loop needs d.mu to exit a
-// running attempt).
+// running attempt). ckptStopped is set under mu BEFORE the channel closes,
+// so a concurrent Reset either respawns before the close (the new loop sees
+// the closed channel and exits, covered by the Wait) or observes the flag
+// and leaves the checkpointer down for good.
 func (d *Disk) stopCheckpointer() {
+	d.mu.Lock()
+	d.ckptStopped = true
+	d.mu.Unlock()
 	d.ckptOnce.Do(func() { close(d.ckptStop) })
 	d.ckptWG.Wait()
 }
@@ -122,12 +155,18 @@ func (d *Disk) stopCheckpointer() {
 func (d *Disk) Checkpoint() error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
-	if err := d.checkpointOnce(); err != nil {
+	switch err := d.checkpointOnce(); {
+	case err == nil:
+		d.checkpoints.Add(1)
+		return nil
+	case errors.Is(err, errCkptSuperseded):
+		// Abandoned by a concurrent Reset: nothing was published for the
+		// current log, so it is neither a completed checkpoint nor a failure.
+		return nil
+	default:
 		d.ckptFailures.Add(1)
 		return err
 	}
-	d.checkpoints.Add(1)
-	return nil
 }
 
 func (d *Disk) checkpointOnce() error {
@@ -221,10 +260,14 @@ func (d *Disk) checkpointOnce() error {
 	// capture (generation bump) abandons the checkpoint: its file refers
 	// to a discarded incarnation and must never gate that log's segments.
 	d.mu.Lock()
-	if d.err != nil || d.ckptGen != gen {
+	if d.err != nil {
 		err := d.err
 		d.mu.Unlock()
-		return err // nil when merely superseded by Reset: not a failure
+		return err
+	}
+	if d.ckptGen != gen {
+		d.mu.Unlock()
+		return errCkptSuperseded
 	}
 	if err := d.appendLocked(d.enc.encodeCkpt(cseq, aseq, aoff)); err != nil {
 		d.mu.Unlock()
@@ -237,16 +280,34 @@ func (d *Disk) checkpointOnce() error {
 	d.mu.Unlock()
 
 	// Step 4: retire. Only now — marker durably synced — may segments
-	// wholly behind the anchor disappear. Close their handles first, under
-	// syncMu: a concurrent GroupSync may still be fsyncing a captured
-	// handle that rolled into sealed, and syncMu excludes it.
+	// wholly behind the anchor disappear.
+	return d.retire(gen, aseq, cseq)
+}
+
+// retire is checkpoint step 4: close and unlink every sealed segment wholly
+// behind the anchor, and GC superseded checkpoint files. The whole step —
+// generation/error re-check, handle close, directory listing and unlinks —
+// is ONE critical section under syncMu+mu, and that atomicity is
+// load-bearing twice over: a concurrent Reset (which requires mu) can never
+// bump the generation and lay down a fresh seg-00000001.wal between our
+// re-check and an unlink that would destroy it, and a concurrent poisoning
+// (poisonLocked, also under mu, which releases the data-dir flock) can never
+// let a fresh OpenDisk claim the directory while we are still unlinking
+// under the old incarnation's feet. syncMu additionally excludes an
+// in-flight GroupSync that may be fsyncing a captured handle that has since
+// rolled into sealed. Holding mu across unlinks stalls the commit path for
+// the duration of a few Removes, once per checkpoint — the one deliberate
+// exception to the "no I/O under mu" rule, bought for Reset/poison atomicity.
+func (d *Disk) retire(gen int64, aseq, cseq int) error {
 	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
 	d.mu.Lock()
-	if d.err != nil || d.ckptGen != gen {
-		err := d.err
-		d.mu.Unlock()
-		d.syncMu.Unlock()
-		return err // poisoned stores perform no unlinks; superseded is nil
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err // poisoned stores perform no unlinks
+	}
+	if d.ckptGen != gen {
+		return errCkptSuperseded
 	}
 	keep := d.sealed[:0]
 	for _, s := range d.sealed {
@@ -257,9 +318,6 @@ func (d *Disk) checkpointOnce() error {
 		}
 	}
 	d.sealed = keep
-	d.mu.Unlock()
-	d.syncMu.Unlock()
-
 	names, err := d.fs.List(d.dir)
 	if err != nil {
 		return fmt.Errorf("storage: checkpoint retire list: %w", err)

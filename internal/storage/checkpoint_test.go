@@ -554,6 +554,164 @@ func TestCheckpointRecoveryBounded(t *testing.T) {
 	}
 }
 
+// postRenameFS invokes a one-shot hook immediately AFTER a successful
+// rename — the post-rename-pre-marker window, where a checkpoint file has
+// been published but its WAL marker has not. The superseded-by-Reset test
+// lands a full Reset in exactly that window, deterministically.
+type postRenameFS struct {
+	FS
+	mu   sync.Mutex
+	hook func()
+}
+
+func (p *postRenameFS) Rename(oldname, newname string) error {
+	err := p.FS.Rename(oldname, newname)
+	p.mu.Lock()
+	hook := p.hook
+	p.hook = nil
+	p.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return err
+}
+
+// TestCheckpointSupersededByReset pins the Reset-abandons-checkpoint
+// contract: a Reset landing after the checkpoint file is published but
+// before the marker must abandon the attempt — counted neither as a
+// completed checkpoint nor as a failure, since it published nothing usable
+// for the new incarnation's log — and the fresh incarnation's segments
+// must survive the dead generation's retirement untouched.
+func TestCheckpointSupersededByReset(t *testing.T) {
+	dir := t.TempDir()
+	pfs := &postRenameFS{FS: OSFS{}}
+	d, err := NewDisk(Config{Dir: dir, FS: pfs, Fsync: FsyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset(tortureInit)
+	fillDisk(t, d, 0, 4*1024) // several sealed segments to tempt retirement
+	pfs.mu.Lock()
+	pfs.hook = func() { d.Reset(tortureInit) }
+	pfs.mu.Unlock()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("superseded checkpoint must not report an error: %v", err)
+	}
+	ds := d.DurabilityStats()
+	if ds.Checkpoints != 0 {
+		t.Fatalf("superseded checkpoint counted as completed: %+v", ds)
+	}
+	if ds.CheckpointFailures != 0 {
+		t.Fatalf("superseded checkpoint counted as failed: %+v", ds)
+	}
+	if ds.SegmentsRetired != 0 {
+		t.Fatalf("dead generation's checkpoint retired segments: %+v", ds)
+	}
+	if segs := listSegments(t, dir); len(segs) != 1 || filepath.Base(segs[0]) != segName(1) {
+		t.Fatalf("fresh incarnation's log damaged: segments %v, want [%s]", segs, segName(1))
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("superseded checkpoint poisoned the store: %v", err)
+	}
+	// The new incarnation must still work end to end.
+	fillDisk(t, d, 0, 1024)
+	live := d.State()
+	d.Close()
+	r, err := OpenDisk(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery after superseded checkpoint: %v", err)
+	}
+	defer r.Close()
+	if !r.State().Equal(live) {
+		t.Fatalf("recovered state diverged after superseded checkpoint")
+	}
+}
+
+// TestCheckpointResetRace hammers Reset against in-flight checkpoints. The
+// regression surface: retirement unlinking the fresh incarnation's opening
+// segment when a Reset lands between the marker and the unlinks — which
+// silently destroys the new log while the store keeps appending to an
+// unlinked inode. Whatever the interleaving, the surviving incarnation's
+// seg-00000001.wal must stay on disk, the store must stay healthy, and
+// recovery must be exact. (A checkpoint racing a Reset may legitimately
+// fail transiently — its tmp file can vanish under it — but must never
+// poison the store or touch the new log.)
+func TestCheckpointResetRace(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(Config{Dir: dir, Fsync: FsyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		d.Reset(tortureInit)
+		if err := d.Err(); err != nil {
+			t.Fatalf("round %d: reset: %v", round, err)
+		}
+		fillDisk(t, d, 0, 2048) // a handful of sealed segments to retire
+		done := make(chan error, 1)
+		go func() { done <- d.Checkpoint() }()
+		d.Reset(tortureInit) // races the checkpoint's marker/retire steps
+		<-done
+		if err := d.Err(); err != nil {
+			t.Fatalf("round %d: race poisoned the store: %v", round, err)
+		}
+		found := false
+		for _, s := range listSegments(t, dir) {
+			if filepath.Base(s) == segName(1) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("round %d: fresh incarnation's %s was unlinked by a dead checkpoint", round, segName(1))
+		}
+	}
+	fillDisk(t, d, 0, 512)
+	live := d.State()
+	d.Close()
+	r, err := OpenDisk(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.State().Equal(live) {
+		t.Fatalf("recovered state diverged after reset/checkpoint races")
+	}
+}
+
+// TestCheckpointerRespawnsAfterDegraded: after persistent failures park the
+// background loop, a Reset must not merely clear the CheckpointerOff flag —
+// it must bring back a live checkpointer, or the store reports healthy
+// while its log grows without bound.
+func TestCheckpointerRespawnsAfterDegraded(t *testing.T) {
+	cfs := &ckptFailFS{FS: OSFS{}, remaining: -1}
+	d, err := NewDisk(Config{Dir: t.TempDir(), FS: cfs, Fsync: FsyncAlways, SegmentBytes: 1024, CheckpointBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Reset(tortureInit)
+	fillDisk(t, d, 0, 8*1024)
+	waitStats(t, d, "the checkpointer to disable itself", func(ds DurabilityStats) bool {
+		return ds.CheckpointerOff
+	})
+	// The fault condition resolves (the disk stops being full); a Reset
+	// restarts the world — and must restart the checkpointer with it.
+	cfs.mu.Lock()
+	cfs.remaining = 0
+	cfs.mu.Unlock()
+	d.Reset(tortureInit)
+	if ds := d.DurabilityStats(); ds.CheckpointerOff {
+		t.Fatalf("CheckpointerOff still set after Reset: %+v", ds)
+	}
+	fillDisk(t, d, 0, 16*1024)
+	waitStats(t, d, "a checkpoint from the respawned loop", func(ds DurabilityStats) bool {
+		return ds.Checkpoints >= 1 && ds.SegmentsRetired >= 1
+	})
+	if err := d.Err(); err != nil {
+		t.Fatalf("respawned checkpointer broke the store: %v", err)
+	}
+}
+
 // TestCheckpointConcurrentCommits runs the background checkpointer against
 // concurrent committers (write-buffered mode, disjoint keys) — the
 // race-detector workout for the capture/retire locking. The final state

@@ -194,15 +194,17 @@ type Disk struct {
 	lock        *os.File // exclusive data-dir lock (flock), nil once released
 
 	// Checkpointer state (checkpoint.go), all under mu.
-	ckptThresh int64 // WAL bytes between checkpoints (0 = no background loop)
-	sinceCkpt  int64 // bytes appended since the last checkpoint capture
-	ckptSeq    int   // last checkpoint file number written
-	ckptGen    int64 // bumped by Reset; abandons in-flight checkpoints
-	ckptOff    bool  // disabled after persistent failures (health flag)
-	ckptStop   chan struct{}
-	ckptKick   chan struct{}
-	ckptWG     sync.WaitGroup
-	ckptOnce   sync.Once // stops the background loop exactly once
+	ckptThresh  int64 // WAL bytes between checkpoints (0 = no background loop)
+	sinceCkpt   int64 // bytes appended since the last checkpoint capture
+	ckptSeq     int   // last checkpoint file number written
+	ckptGen     int64 // bumped by Reset; abandons in-flight checkpoints
+	ckptOff     bool  // disabled after persistent failures (health flag)
+	ckptRunning bool  // background loop alive; cleared by its every exit
+	ckptStopped bool  // stopCheckpointer called; Reset must not respawn
+	ckptStop    chan struct{}
+	ckptKick    chan struct{}
+	ckptWG      sync.WaitGroup
+	ckptOnce    sync.Once // stops the background loop exactly once
 
 	fsyncs        atomic.Int64
 	walBytes      atomic.Int64
@@ -278,6 +280,7 @@ func NewDisk(cfg Config) (*Disk, error) {
 		ctx:        make(map[int]*diskCtx),
 	}
 	if d.ckptThresh > 0 {
+		d.ckptRunning = true
 		d.ckptWG.Add(1)
 		go d.checkpointLoop()
 	}
@@ -320,7 +323,28 @@ func (d *Disk) poisonLocked(err error) {
 // durable.
 func (d *Disk) Reset(init core.DB) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.resetLocked(init)
+	// A degraded run leaves the background loop dead (sticky store error or
+	// persistent checkpoint failures, checkpoint.go) — and resetLocked just
+	// cleared both the sticky error and the CheckpointerOff flag, so the
+	// healthy report must come with an actual checkpointer behind it.
+	// Respawn unless the loop is still alive, the store was stopped for
+	// good (Close), or the reset itself failed. The decision and the
+	// running/WG bookkeeping happen under mu; the spawn itself must not
+	// (the goroutine takes ckptMu/syncMu/mu in its own time).
+	respawn := d.ckptThresh > 0 && !d.ckptRunning && !d.ckptStopped && d.err == nil
+	if respawn {
+		d.ckptRunning = true
+		d.ckptWG.Add(1)
+	}
+	d.mu.Unlock()
+	if respawn {
+		go d.checkpointLoop()
+	}
+}
+
+// resetLocked is Reset's body, under d.mu.
+func (d *Disk) resetLocked(init core.DB) {
 	d.closeSegmentsLocked()
 	names, err := d.fs.List(d.dir)
 	if err != nil {
