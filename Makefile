@@ -5,7 +5,7 @@ GO ?= go
 
 # PR numbers the bench-json snapshot; bump it (or pass PR=<n>) so each PR
 # that touches the engine writes its own BENCH_PR<n>.json.
-PR ?= 9
+PR ?= 10
 
 # The extended vet set: standalone `go vet` runs its full analyzer
 # registry (atomic, copylocks, loopclosure, lostcancel, unsafeptr,
@@ -33,11 +33,12 @@ bench:
 
 # Machine-readable benchmark snapshot: the runtime experiments (sharding,
 # batching, native TO / rail striping, multiversion reads, durable
-# commit, checkpointed WAL) rendered as JSON. Each PR that touches the
-# engine refreshes its BENCH_PR<n>.json so the repository accumulates a
-# throughput trajectory that later PRs can diff against.
+# commit, checkpointed WAL, native SGT/OCC) rendered as JSON. Each PR
+# that touches the engine refreshes its BENCH_PR<n>.json so the
+# repository accumulates a throughput trajectory that later PRs can diff
+# against.
 bench-json:
-	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12,E13,E14 -json > BENCH_PR$(PR).json
+	$(GO) run ./cmd/ccbench -exp E8,E10,E11,E12,E13,E14,E15 -json > BENCH_PR$(PR).json
 
 # Per-experiment throughput delta between the two newest snapshots
 # (version-sorted, so PR10 follows PR9). See cmd/benchdiff.

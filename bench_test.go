@@ -490,6 +490,85 @@ func BenchmarkNativeTOVsShardedTO(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeSGTVsShardedSGT is the native serialization-graph
+// acceptance benchmark: the disjoint multi-shard workload through the
+// Sharded(SGT) combinator — single-threaded SGT per shard behind shard
+// mutexes, grant logs and the ordering rail — versus
+// online.ConcurrentSGT, whose zero-conflict grants are a lock-free marks
+// lookup plus liveness loads with no graph lock at all. With the
+// per-shard serialization gone, native SGT should sit at or above the
+// combinator from 2 shards up.
+func BenchmarkNativeSGTVsShardedSGT(b *testing.B) {
+	const (
+		jobs  = 64
+		users = 16
+	)
+	template := workload.Disjoint(jobs, 3)
+	run := func(b *testing.B, mk func() online.Scheduler) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			inst := sim.Instantiate(template, jobs)
+			m, err := sim.Run(sim.Config{System: inst, Sched: mk(), Users: users, Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Committed != jobs {
+				b.Fatalf("committed %d of %d", m.Committed, jobs)
+			}
+		}
+	}
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("sharded-sgt-%d", shards), func(b *testing.B) {
+			run(b, func() online.Scheduler {
+				return online.NewSharded(shards, func() online.Scheduler { return online.NewSGTAborting() })
+			})
+		})
+		b.Run(fmt.Sprintf("native-csgt-%d", shards), func(b *testing.B) {
+			run(b, func() online.Scheduler { return online.NewConcurrentSGTAborting(shards) })
+		})
+	}
+}
+
+// BenchmarkNativeOCCVsShardedOCC is the native optimistic-validation
+// acceptance benchmark: the disjoint multi-shard workload through the
+// Sharded(OCC) combinator versus online.ConcurrentOCC, whose execution
+// and validation paths touch only the shared atomic clock, the
+// copy-on-write writer marks and the commit-stamp table — no shard mutex,
+// no rail, no global validation critical section. Native OCC should sit
+// at or above the combinator from 2 shards up.
+func BenchmarkNativeOCCVsShardedOCC(b *testing.B) {
+	const (
+		jobs  = 64
+		users = 16
+	)
+	template := workload.Disjoint(jobs, 3)
+	run := func(b *testing.B, mk func() online.Scheduler) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			inst := sim.Instantiate(template, jobs)
+			m, err := sim.Run(sim.Config{System: inst, Sched: mk(), Users: users, Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Committed != jobs {
+				b.Fatalf("committed %d of %d", m.Committed, jobs)
+			}
+		}
+	}
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("sharded-occ-%d", shards), func(b *testing.B) {
+			run(b, func() online.Scheduler {
+				return online.NewSharded(shards, func() online.Scheduler { return online.NewOCC() })
+			})
+		})
+		b.Run(fmt.Sprintf("native-cocc-%d", shards), func(b *testing.B) {
+			run(b, func() online.Scheduler { return online.NewConcurrentOCC(shards) })
+		})
+	}
+}
+
 // BenchmarkRailStripes is the rail acceptance benchmark: multi-shard
 // transactions with pairwise conflicts (workload.CrossPairs — every
 // reservation carries real sources, components stay small) through the

@@ -1,5 +1,5 @@
 // Command ccbench runs the paper-reproduction experiments (T1–T4 theorems,
-// F1–F5 figures, E1–E14 measurements) and prints their tables.
+// F1–F5 figures, E1–E15 measurements) and prints their tables.
 //
 // Usage:
 //
@@ -15,6 +15,7 @@
 //	ccbench -exp E12 -readfrac 0.5,0.99 -users 16  # multiversion read sweep
 //	ccbench -exp E13 -fsync always,group -batch 1,8,32  # durable-commit sweep
 //	ccbench -exp E14 -checkpoint 0,8192,65536  # fuzzy-checkpoint footprint sweep
+//	ccbench -exp E15 -shards 1,4,16 -users 16  # native SGT/OCC vs sharded sweep
 //
 // Profiling and allocation measurement (the perf workflow behind the
 // zero-allocation hot path, DESIGN.md "Memory discipline"):
@@ -94,14 +95,14 @@ func main() {
 		mdFlag      = flag.Bool("md", false, "emit markdown instead of plain tables")
 		jsonFlag    = flag.Bool("json", false, "emit machine-readable JSON instead of plain tables")
 		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
-		shardsFlag  = flag.String("shards", "", "comma-separated shard counts for the E8/E10/E11 sweeps (E8 default 1,4,16; E10 default 4; E11 default 1,4)")
-		usersFlag   = flag.String("users", "", "comma-separated user counts for the E8/E10 sweeps (E8 default 4,8; E10 default 16,48); the first entry also sets E11's users")
+		shardsFlag  = flag.String("shards", "", "comma-separated shard counts for the E8/E10/E11/E15 sweeps (E8 default 1,4,16; E10 default 4; E11/E15 default 1,4)")
+		usersFlag   = flag.String("users", "", "comma-separated user counts for the E8/E10 sweeps (E8 default 4,8; E10 default 16,48); the first entry also sets E11/E15's users")
 		batchFlag   = flag.String("batch", "", "comma-separated batch sizes for the E10 batched-dispatch sweep (default 1,8,32)")
-		stripesFlag = flag.Int("railstripes", 0, "ordering-rail stripe count for the E11 sweep (0 = one per shard)")
+		stripesFlag = flag.Int("railstripes", 0, "ordering-rail stripe count for the E11/E15 sweeps (0 = one per shard)")
 		fracFlag    = flag.String("readfrac", "", "comma-separated read fractions for the E12 multiversion sweep (default 0.5,0.9,0.99)")
 		fsyncFlag   = flag.String("fsync", "", "comma-separated fsync policies for the E13 durable-commit sweep (always|group|never; default always,group,never)")
 		ckptFlag    = flag.String("checkpoint", "", "comma-separated checkpoint intervals (WAL bytes) for the E14 sweep; 0 = checkpointing off (default 0,8192,65536)")
-		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11 real-execution sweeps (kv|noop; default kv)")
+		backendFlag = flag.String("backend", "", "storage backend for the E9/E10/E11/E15 real-execution sweeps (kv|noop; default kv)")
 		cpuFlag     = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memFlag     = flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 		allocFlag   = flag.Bool("allocstats", false, "report per-experiment allocator pressure (heap objects and MB allocated) after the tables")
@@ -139,6 +140,7 @@ func main() {
 		experiments.E9Config.Backend = *backendFlag
 		experiments.E10Config.Backend = *backendFlag
 		experiments.E11Config.Backend = *backendFlag
+		experiments.E15Config.Backend = *backendFlag
 	}
 	if *shardsFlag != "" {
 		sweep, err := parseIntList(*shardsFlag)
@@ -149,6 +151,7 @@ func main() {
 		experiments.E8Config.Shards = sweep
 		experiments.E10Config.Shards = sweep
 		experiments.E11Config.Shards = sweep
+		experiments.E15Config.Shards = sweep
 		experiments.E12Config.Shards = sweep[0]
 		experiments.E13Config.Shards = sweep[0]
 	}
@@ -161,6 +164,7 @@ func main() {
 		experiments.E8Config.Users = sweep
 		experiments.E10Config.Users = sweep
 		experiments.E11Config.Users = sweep[0]
+		experiments.E15Config.Users = sweep[0]
 		experiments.E12Config.Users = sweep[0]
 		experiments.E13Config.Users = sweep[0]
 	}
@@ -175,6 +179,7 @@ func main() {
 	}
 	if *stripesFlag > 0 {
 		experiments.E11Config.RailStripes = *stripesFlag
+		experiments.E15Config.RailStripes = *stripesFlag
 	}
 	if *fracFlag != "" {
 		sweep, err := parseFracList(*fracFlag)

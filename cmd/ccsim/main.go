@@ -10,6 +10,8 @@
 //	ccsim -workload banking -sched 2pl-woundwait -backend kv -valuesize 4096
 //	ccsim -workload hotshard -sched 2pl-woundwait -shards 4 -batch 16 -backend kv
 //	ccsim -workload disjoint -sched cto -shards 4 -users 16
+//	ccsim -workload crosspairs -sched csgt -shards 4 -users 16
+//	ccsim -workload readmostly -readfrac 0.9 -sched cocc -shards 4 -users 16
 //	ccsim -workload crosspairs -sched to -shards 4 -railstripes 8
 //	ccsim -workload readmostly -readfrac 0.95 -sched mv -shards 4 -backend kv
 //	ccsim -workload disjoint -sched 2pl-woundwait -shards 4 -backend disk -fsync group -batch 16
@@ -25,7 +27,12 @@
 // scheduler (write claims with first-writer-wins over the same timestamp
 // table); with the kv backend's version chains, read-only transactions are
 // served from pinned lock-free storage snapshots and never enter the grant
-// machinery at all. For single-threaded schedulers behind the Sharded
+// machinery at all. -sched csgt / csgt-delay select the natively concurrent
+// serialization-graph scheduler (striped union-find component graph,
+// lock-free zero-conflict grants; abort-on-cycle and delay-on-cycle) and
+// -sched cocc the natively concurrent optimistic scheduler (epoch-based
+// backward validation, no global critical section); like cto they always
+// run on the dispatch loops. For single-threaded schedulers behind the Sharded
 // combinator, -railstripes sets how many lock stripes the cross-shard
 // ordering rail is partitioned into (0 = one per shard; 1 = the
 // single-mutex degenerate).
@@ -121,10 +128,12 @@ func schedulerFactory(name string) (factory func() online.Scheduler, policy lock
 // single-threaded scheduler behind the centralized scheduler goroutine;
 // shards >= 1 selects the concurrent engine with per-shard dispatch loops —
 // natively sharded strict 2PL for the 2PL family, native timestamp
-// ordering for cto/cto-thomas, and the Sharded combinator (with the
-// striped cross-shard ordering rail, railStripes wide; 0 = as wide as the
-// shard count) for everything else. cto is natively concurrent and always
-// runs on the dispatch loops, so -shards 0 behaves as one shard.
+// ordering for cto/cto-thomas, the native serialization graph for
+// csgt/csgt-delay, native optimistic validation for cocc, and the Sharded
+// combinator (with the striped cross-shard ordering rail, railStripes
+// wide; 0 = as wide as the shard count) for everything else. The natively
+// concurrent schedulers (cto, mv, csgt, cocc) always run on the dispatch
+// loops, so -shards 0 behaves as one shard.
 func schedulerByName(name string, shards, railStripes int) (online.Scheduler, bool) {
 	switch name {
 	case "cto":
@@ -133,6 +142,12 @@ func schedulerByName(name string, shards, railStripes int) (online.Scheduler, bo
 		return online.NewConcurrentTOThomas(max(shards, 1)), true
 	case "mv":
 		return online.NewConcurrentMV(max(shards, 1)), true
+	case "csgt":
+		return online.NewConcurrentSGTAborting(max(shards, 1)), true
+	case "csgt-delay":
+		return online.NewConcurrentSGT(max(shards, 1)), true
+	case "cocc":
+		return online.NewConcurrentOCC(max(shards, 1)), true
 	}
 	factory, policy, is2PL, ok := schedulerFactory(name)
 	if !ok {
@@ -192,7 +207,7 @@ func workloadByName(name string, seed int64, jobs int, readFrac float64) (*core.
 func main() {
 	var (
 		wl        = flag.String("workload", "banking", "banking|figure1|cross|chain|lostupdate|hotshard|disjoint|crosspairs|readmostly|tree|random")
-		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|cto|cto-thomas|mv|occ|treelock")
+		sc        = flag.String("sched", "2pl-woundwait", "serial|2pl|2pl-nowait|2pl-waitdie|2pl-woundwait|2pl-conservative|sgt|to|to-thomas|cto|cto-thomas|csgt|csgt-delay|cocc|mv|occ|treelock")
 		jobs      = flag.Int("jobs", 32, "transaction instances to run")
 		users     = flag.Int("users", 8, "concurrent user goroutines")
 		shards    = flag.Int("shards", 0, "shard count for the concurrent engine (0 = centralized scheduler goroutine)")

@@ -14,7 +14,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Fatalf("All() returned %d runners for %d ordered ids", len(m), len(order))
 	}
 	for _, id := range order {
-		if id == "E4" || id == "E8" || id == "E9" || id == "E11" || id == "E12" || id == "E13" {
+		if id == "E4" || id == "E8" || id == "E9" || id == "E11" || id == "E12" || id == "E13" || id == "E15" {
 			continue // covered by the TestE*Quick variants to keep the suite fast
 		}
 		r, err := m[id]()
@@ -114,6 +114,28 @@ func TestE11Quick(t *testing.T) {
 	}
 }
 
+func TestE15Quick(t *testing.T) {
+	r, err := E15Quick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E15 quick tables = %d", len(r.Tables))
+	}
+	// One native-SGT, sharded(SGT), native-OCC, sharded(OCC), native-TO
+	// and 2PL row per shard count; the runner itself asserts the per-regime
+	// self-checks (state==replay on the disjoint regime, committed-schedule
+	// CSR on the skewed one).
+	for _, tbl := range r.Tables {
+		s := tbl.String()
+		for _, want := range []string{"csgt(", "cocc(", "sharded(", "cto(", "2pl-sharded("} {
+			if !strings.Contains(s, want) {
+				t.Errorf("E15 table missing %q rows:\n%s", want, s)
+			}
+		}
+	}
+}
+
 func TestE12Quick(t *testing.T) {
 	r, err := E12Quick()
 	if err != nil {
@@ -191,7 +213,7 @@ func TestNewBackendUnknown(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
+	if len(ids) != 24 {
 		t.Errorf("IDs = %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {

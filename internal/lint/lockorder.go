@@ -66,6 +66,8 @@ type lockClass struct {
 var lockClasses = map[string]*lockClass{
 	"railStripe.mu":        {key: "railStripe.mu", domain: "rail", rank: 10, multi: true, ascending: true},
 	"stripedRail.compMu":   {key: "stripedRail.compMu", domain: "rail", rank: 20},
+	"sgtStripe.mu":         {key: "sgtStripe.mu", domain: "sgtgraph", rank: 10, multi: true, ascending: true},
+	"sgtGraph.compMu":      {key: "sgtGraph.compMu", domain: "sgtgraph", rank: 20},
 	"tableShard.mu":        {key: "tableShard.mu", domain: "lockmgr", rank: 10, multi: true},
 	"fastSet.mu":           {key: "fastSet.mu", domain: "lockmgr", rank: 20, multi: true},
 	"Disk.ckptMu":          {key: "Disk.ckptMu", domain: "disk", rank: 5},

@@ -111,7 +111,7 @@ type OCC struct {
 	sys        *core.System
 	clock      int
 	start      []int
-	readTimes  []map[core.Var]int // first read time per variable
+	readTimes  []map[core.Var]int // LAST read time per variable (see (b))
 	writeTimes []map[core.Var]int // first write time per variable
 	history    []occCommit
 }
@@ -170,9 +170,11 @@ func (s *OCC) Try(id core.StepID) Decision {
 		}
 		now := s.clock + 1
 		if conflict.Reads(step.Kind) {
-			if _, ok := reads[step.Var]; !ok {
-				reads[step.Var] = now
-			}
+			// Last read time, not first: with in-place writes, a repeat
+			// read of v observes the latest state, so a writer that slid
+			// between two of j's reads of v is a dirty read even though it
+			// postdates the first one.
+			reads[step.Var] = now
 		}
 		if conflict.Writes(step.Kind) {
 			if _, ok := writes[step.Var]; !ok {
@@ -207,9 +209,7 @@ func (s *OCC) Try(id core.StepID) Decision {
 	}
 	s.clock++
 	if conflict.Reads(step.Kind) {
-		if _, ok := s.readTimes[id.Tx][step.Var]; !ok {
-			s.readTimes[id.Tx][step.Var] = s.clock
-		}
+		s.readTimes[id.Tx][step.Var] = s.clock
 	}
 	if conflict.Writes(step.Kind) {
 		if _, ok := s.writeTimes[id.Tx][step.Var]; !ok {

@@ -248,6 +248,36 @@ if ! grep -q 'Checkpointing' DESIGN.md; then
   fail=1
 fi
 
+# The native SGT/OCC surface must stay documented: experiment E15, the
+# csgt/cocc schedulers in both docs and the ccsim scheduler surface, and
+# DESIGN.md's section on the striped graph + epoch validation invariants.
+for doc in README.md DESIGN.md; do
+  if ! grep -q 'E15' "$doc"; then
+    echo "check-docs: $doc does not document experiment E15"
+    fail=1
+  fi
+  if ! grep -q 'csgt' "$doc"; then
+    echo "check-docs: $doc does not document the csgt scheduler"
+    fail=1
+  fi
+  if ! grep -q 'cocc' "$doc"; then
+    echo "check-docs: $doc does not document the cocc scheduler"
+    fail=1
+  fi
+done
+if ! grep -q 'csgt' cmd/ccsim/main.go || ! grep -q 'cocc' cmd/ccsim/main.go; then
+  echo "check-docs: cmd/ccsim/main.go lost its csgt/cocc schedulers"
+  fail=1
+fi
+if ! grep -q 'E15' internal/experiments/experiments.go; then
+  echo "check-docs: experiments registry lost E15"
+  fail=1
+fi
+if ! grep -q 'Native SGT and OCC' DESIGN.md; then
+  echo "check-docs: DESIGN.md lost its Native SGT and OCC section"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAIL"
   exit 1
